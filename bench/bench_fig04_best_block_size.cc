@@ -1,0 +1,45 @@
+// Figure 4: best block size at different transaction arrival rates,
+// for all four use-case chaincodes on the C1 and C2 clusters.
+#include "bench/bench_util.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+int main() {
+  Header("Figure 4 - best block size vs transaction arrival rate",
+         "best block size grows ~linearly with the arrival rate; the "
+         "larger C2 cluster sustains larger blocks at high rates; DV "
+         "responds least (range queries dominate its failures)");
+
+  const std::vector<uint32_t> sizes = {10, 25, 50, 100, 200};
+  const std::vector<double> rates = {10, 25, 50, 100, 150, 200};
+
+  for (const char* cluster : {"C1", "C2"}) {
+    std::printf("\n[%s] best block size (min-failure %%):\n", cluster);
+    std::printf("%-10s", "chaincode");
+    for (double rate : rates) std::printf(" %8.0ftps", rate);
+    std::printf("\n");
+    for (const char* chaincode : {"ehr", "dv", "scm", "drm"}) {
+      std::printf("%-10s", chaincode);
+      for (double rate : rates) {
+        ExperimentConfig config =
+            std::string(cluster) == "C1" ? BaseC1(rate) : BaseC2(rate);
+        config.workload.chaincode = chaincode;
+        // 480 sweep points: one seed per point and a shorter load
+        // phase keep this bench quick.
+        config.repetitions = 1;
+        if (config.duration > 20 * kSecond) config.duration = 20 * kSecond;
+        Result<BlockSizeSearch> search = FindBestBlockSize(config, sizes);
+        if (!search.ok()) {
+          std::fprintf(stderr, "sweep failed: %s\n",
+                       search.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("   %4u bs ", search.value().best_block_size);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 12: effect of the number of organizations (4 peers each) on
+// latency and endorsement policy failures (C2 cluster hardware).
+#include "bench/bench_util.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+int main() {
+  Header("Figure 12 - number of organizations (4 peers per org)",
+         "latency and endorsement policy failures increase with the "
+         "number of organizations: more world-state replicas, more "
+         "transient inconsistency");
+
+  std::printf("%6s %12s %16s %12s\n", "orgs", "latency(s)", "endorsement%",
+              "total fail%");
+  for (int orgs : {2, 4, 6, 8, 10}) {
+    ExperimentConfig config = BaseC2(100);
+    config.fabric.cluster.num_orgs = orgs;
+    config.repetitions = 3;
+    FailureReport r = MustRun(config);
+    std::printf("%6d %12.3f %16.2f %12.2f\n", orgs, r.avg_latency_s,
+                r.endorsement_pct, r.total_failure_pct);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 13 (and Table 5): effect of the endorsement policy presets
+// P0-P3 on endorsement failures and latency (C2, 8 orgs).
+#include "bench/bench_util.h"
+#include "src/policy/policy_presets.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+int main() {
+  Header("Figure 13 / Table 5 - endorsement policies P0-P3 (C2)",
+         "P0 (all N orgs) fails most; P1 (Org0 + any, 1 sub-policy) fails "
+         "less than P2 (one per half, 2 sub-policies) despite equal "
+         "signature counts; sub-policies also increase latency");
+
+  std::printf("%-4s %-34s %6s %10s %14s %12s\n", "id", "policy", "sigs",
+              "subpols", "endorsement%", "latency(s)");
+  for (PolicyPreset preset :
+       {PolicyPreset::kP0AllOrgs, PolicyPreset::kP1OrgZeroPlusAny,
+        PolicyPreset::kP2OneFromEachHalf, PolicyPreset::kP3Quorum}) {
+    ExperimentConfig config = BaseC2(100);
+    EndorsementPolicy policy =
+        MakePolicy(preset, config.fabric.cluster.num_orgs);
+    config.fabric.policy_text = policy.ToString();
+    FailureReport r = MustRun(config);
+    std::string text = policy.ToString();
+    if (text.size() > 33) text = text.substr(0, 30) + "...";
+    std::printf("%-4s %-34s %6d %10d %14.2f %12.3f\n",
+                PolicyPresetToString(preset), text.c_str(),
+                policy.MinSignatures(), policy.SubPolicyCount(),
+                r.endorsement_pct, r.avg_latency_s);
+    std::fflush(stdout);
+  }
+  return 0;
+}

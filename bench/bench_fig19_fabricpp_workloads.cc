@@ -1,0 +1,39 @@
+// Figure 19: Fabric++ vs Fabric 1.4 across genChain workloads and key
+// skews (C2).
+#include "bench/bench_util.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+int main() {
+  Header("Figure 19 - Fabric++ across workloads & skew (genChain, C2)",
+         "Fabric++ reduces failures for update-heavy (reorderable) and "
+         "range-heavy-with-small-ranges workloads, but gains nothing on "
+         "read-/delete-heavy (no reordering potential, pure overhead)");
+
+  std::printf("%-16s %-12s %14s %12s\n", "workload", "variant",
+              "on-chain fail%", "latency(s)");
+  std::vector<std::pair<WorkloadMix, double>> cases = {
+      {WorkloadMix::kReadHeavy, 1.0},   {WorkloadMix::kInsertHeavy, 1.0},
+      {WorkloadMix::kUpdateHeavy, 1.0}, {WorkloadMix::kDeleteHeavy, 1.0},
+      {WorkloadMix::kRangeHeavy, 1.0},  {WorkloadMix::kUpdateHeavy, 0.0},
+      {WorkloadMix::kUpdateHeavy, 2.0}};
+  for (const auto& [mix, skew] : cases) {
+    for (FabricVariant variant :
+         {FabricVariant::kFabric14, FabricVariant::kFabricPlusPlus}) {
+      ExperimentConfig config = BaseC2(100);
+      config.workload.chaincode = "genchain";
+      config.workload.mix = mix;
+      config.workload.zipf_skew = skew;
+      config.workload.genchain_initial_keys = 5000;
+      config.fabric.variant = variant;
+      FailureReport r = MustRun(config);
+      std::printf("%-12s s=%.0f %-12s %14.2f %12.2f\n",
+                  WorkloadMixToString(mix), skew,
+                  FabricVariantToString(variant), r.total_failure_pct,
+                  r.avg_latency_s);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

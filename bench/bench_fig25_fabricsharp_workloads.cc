@@ -1,0 +1,40 @@
+// Figure 25: FabricSharp vs Fabric 1.4 across genChain workloads and
+// skews (C2). Range-heavy is omitted: FabricSharp does not support
+// range queries (paper §5.4.3).
+#include "bench/bench_util.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+int main() {
+  Header("Figure 25 - FabricSharp across workloads & skew (genChain, C2)",
+         "big win on update-heavy (conflicts become pre-ordering aborts); "
+         "no benefit on insert-/delete-heavy (unique keys, nothing to "
+         "serialize, pure overhead); no range-heavy (unsupported)");
+
+  std::printf("%-16s %-12s %14s %14s %14s\n", "workload", "variant",
+              "on-chain fail%", "early-abort%", "tput(tps)");
+  std::vector<std::pair<WorkloadMix, double>> cases = {
+      {WorkloadMix::kReadHeavy, 1.0},   {WorkloadMix::kInsertHeavy, 1.0},
+      {WorkloadMix::kUpdateHeavy, 1.0}, {WorkloadMix::kDeleteHeavy, 1.0},
+      {WorkloadMix::kUpdateHeavy, 0.0}, {WorkloadMix::kUpdateHeavy, 2.0}};
+  for (const auto& [mix, skew] : cases) {
+    for (FabricVariant variant :
+         {FabricVariant::kFabric14, FabricVariant::kFabricSharp}) {
+      ExperimentConfig config = BaseC2(100);
+      config.workload.chaincode = "genchain";
+      config.workload.mix = mix;
+      config.workload.zipf_skew = skew;
+      config.workload.genchain_initial_keys = 5000;
+      config.workload.include_range_reads = false;
+      config.fabric.variant = variant;
+      FailureReport r = MustRun(config);
+      std::printf("%-12s s=%.0f %-12s %14.2f %14.2f %14.1f\n",
+                  WorkloadMixToString(mix), skew,
+                  FabricVariantToString(variant), r.total_failure_pct,
+                  r.early_abort_pct, r.committed_throughput_tps);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef FABRICSIM_BENCH_BENCH_UTIL_H_
+#define FABRICSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/runner.h"
+#include "src/core/sweeps.h"
+
+namespace fabricsim {
+namespace bench {
+
+/// Baseline experiment configs for the reproduction benches. The
+/// paper drives load for 180 s and repeats >=3x; we default to 30 s
+/// simulated time and 2 seeds per point so every bench binary
+/// finishes in seconds — pass FABRICSIM_FULL=1 in the environment to
+/// run the paper-scale 180 s x 3 versions.
+inline ExperimentConfig Tuned(ExperimentConfig config) {
+  if (std::getenv("FABRICSIM_FULL") != nullptr) {
+    config.duration = 180 * kSecond;
+    config.repetitions = 3;
+  } else {
+    config.duration = 30 * kSecond;
+    config.repetitions = 2;
+  }
+  return config;
+}
+
+inline ExperimentConfig BaseC1(double rate_tps = 100) {
+  ExperimentConfig config = Tuned(ExperimentConfig::Defaults());
+  config.arrival_rate_tps = rate_tps;
+  return config;
+}
+
+inline ExperimentConfig BaseC2(double rate_tps = 100) {
+  ExperimentConfig config = Tuned(ExperimentConfig::DefaultsC2());
+  config.arrival_rate_tps = rate_tps;
+  return config;
+}
+
+inline void Header(const char* experiment, const char* paper_expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_expectation);
+  std::printf("================================================================\n");
+}
+
+/// Runs one experiment or exits with a diagnostic (benches are
+/// regeneration scripts; failing silently would hide a broken config).
+inline FailureReport MustRun(const ExperimentConfig& config) {
+  Result<ExperimentResult> result = RunExperiment(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed (%s): %s\n",
+                 config.Describe().c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.value().mean;
+}
+
+}  // namespace bench
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_BENCH_BENCH_UTIL_H_

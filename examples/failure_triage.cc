@@ -1,0 +1,51 @@
+// Failure triage: run the same workload on all four Fabric-like
+// systems (the paper's §5.5 comparison), print the failure breakdown
+// side by side, and derive the §6.1 recommendations for the stock
+// configuration — the "analyze your use case before tuning" workflow
+// the paper advocates.
+#include <cstdio>
+
+#include "src/core/recommendations.h"
+#include "src/core/runner.h"
+
+using namespace fabricsim;
+
+int main() {
+  std::printf("failure triage across Fabric variants (EHR, C1, 50 tps)\n");
+  std::printf("=======================================================\n\n");
+
+  ExperimentConfig base = ExperimentConfig::Defaults();
+  base.arrival_rate_tps = 50;
+  base.duration = 30 * kSecond;
+  base.repetitions = 3;
+  base.fabric.block_size = 10;
+
+  std::printf("%-12s %10s %9s %9s %9s %9s %9s %8s\n", "variant", "fail%",
+              "endors%", "mvcc%", "phantom%", "reord%", "early%", "lat(s)");
+  FailureReport stock_report;
+  for (FabricVariant variant :
+       {FabricVariant::kFabric14, FabricVariant::kFabricPlusPlus,
+        FabricVariant::kStreamchain, FabricVariant::kFabricSharp}) {
+    ExperimentConfig config = base;
+    config.fabric.variant = variant;
+    Result<ExperimentResult> result = RunExperiment(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", FabricVariantToString(variant),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const FailureReport& r = result.value().mean;
+    if (variant == FabricVariant::kFabric14) stock_report = r;
+    std::printf("%-12s %10.2f %9.2f %9.2f %9.2f %9.2f %9.2f %8.3f\n",
+                FabricVariantToString(variant), r.total_failure_pct,
+                r.endorsement_pct, r.mvcc_pct, r.phantom_pct,
+                r.reorder_abort_pct, r.early_abort_pct, r.avg_latency_s);
+  }
+
+  std::printf("\nrecommendations for the stock configuration "
+              "(paper §6.1 rules):\n");
+  std::printf("%s", FormatRecommendations(
+                        DeriveRecommendations(base, stock_report))
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Quickstart: run the paper's default configuration (Table 3) — the
+// EHR chaincode on a C1 cluster with CouchDB at 100 tps — and print
+// the parsed-blockchain failure report plus the derived
+// recommendations.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/core/recommendations.h"
+#include "src/core/runner.h"
+
+int main() {
+  using namespace fabricsim;
+
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 60 * kSecond;
+  config.repetitions = 3;
+
+  std::printf("fabricsim quickstart\n====================\n");
+  std::printf("config: %s\n\n", config.Describe().c_str());
+
+  Result<ExperimentResult> result = RunExperiment(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const FailureReport& report = result.value().mean;
+  std::printf("%s\n", report.ToString().c_str());
+
+  std::printf("recommendations\n---------------\n%s",
+              FormatRecommendations(DeriveRecommendations(config, report))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,5 @@
+#include "src/chaincode/chaincode.h"
+
+namespace fabricsim {
+// Chaincode is an interface; nothing to define here.
+}  // namespace fabricsim

@@ -1,0 +1,20 @@
+#ifndef FABRICSIM_CHAINCODE_GENCHAIN_EMITTER_H_
+#define FABRICSIM_CHAINCODE_GENCHAIN_EMITTER_H_
+
+#include <string>
+
+#include "src/chaincode/genchain.h"
+
+namespace fabricsim {
+
+/// Emits syntactically valid Go chaincode source implementing a
+/// GenChaincodeSpec against the Fabric 1.4 shim — the textual output
+/// of the paper's chaincode generator (§4.4: "The final output is a
+/// syntactically correct chaincode with the user-specified chaincode
+/// functions"). The emitted code is a faithful external representation
+/// of what GenChaincode interprets in-process.
+std::string EmitGoChaincode(const GenChaincodeSpec& spec);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CHAINCODE_GENCHAIN_EMITTER_H_

@@ -1,0 +1,45 @@
+#include "src/chaincode/registry.h"
+
+#include "src/chaincode/digital_voting.h"
+#include "src/chaincode/drm.h"
+#include "src/chaincode/ehr.h"
+#include "src/chaincode/genchain.h"
+#include "src/chaincode/supply_chain.h"
+
+namespace fabricsim {
+
+Status ChaincodeRegistry::Register(std::shared_ptr<Chaincode> chaincode) {
+  if (chaincode == nullptr) {
+    return Status::InvalidArgument("null chaincode");
+  }
+  std::string name = chaincode->name();
+  if (!chaincodes_.emplace(name, std::move(chaincode)).second) {
+    return Status::AlreadyExists("chaincode already installed: " + name);
+  }
+  return Status::OK();
+}
+
+Chaincode* ChaincodeRegistry::Get(const std::string& name) const {
+  auto it = chaincodes_.find(name);
+  return it == chaincodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ChaincodeRegistry::InstalledNames() const {
+  std::vector<std::string> names;
+  names.reserve(chaincodes_.size());
+  for (const auto& [name, cc] : chaincodes_) names.push_back(name);
+  return names;
+}
+
+ChaincodeRegistry ChaincodeRegistry::CreateDefault() {
+  ChaincodeRegistry registry;
+  registry.Register(std::make_shared<EhrChaincode>());
+  registry.Register(std::make_shared<DigitalVotingChaincode>());
+  registry.Register(std::make_shared<SupplyChainChaincode>());
+  registry.Register(std::make_shared<DrmChaincode>());
+  registry.Register(
+      std::make_shared<GenChaincode>(GenChaincodeSpec::PaperDefault()));
+  return registry;
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,37 @@
+#ifndef FABRICSIM_CHAINCODE_REGISTRY_H_
+#define FABRICSIM_CHAINCODE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chaincode/chaincode.h"
+#include "src/common/status.h"
+
+namespace fabricsim {
+
+/// Maps installed chaincode names to implementations. Chaincodes are
+/// stateless (all state flows through the stub), so one shared
+/// instance serves every peer.
+class ChaincodeRegistry {
+ public:
+  /// Registers a chaincode under its name(). Fails on duplicates.
+  Status Register(std::shared_ptr<Chaincode> chaincode);
+
+  /// Looks up a chaincode; nullptr when not installed.
+  Chaincode* Get(const std::string& name) const;
+
+  std::vector<std::string> InstalledNames() const;
+
+  /// Registry with the paper's four use-case chaincodes plus the
+  /// default genChain.
+  static ChaincodeRegistry CreateDefault();
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<Chaincode>> chaincodes_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CHAINCODE_REGISTRY_H_

@@ -1,0 +1,67 @@
+#include "src/chaincode/stub.h"
+
+namespace fabricsim {
+
+ChaincodeStub::ChaincodeStub(const StateDatabase& db,
+                             bool rich_queries_supported)
+    : db_(db), rich_queries_supported_(rich_queries_supported) {}
+
+std::optional<std::string> ChaincodeStub::GetState(const std::string& key) {
+  std::optional<VersionedValue> vv = db_.Get(key);
+  ReadItem item;
+  item.key = key;
+  if (vv.has_value()) {
+    item.version = vv->version;
+    item.found = true;
+  } else {
+    item.found = false;
+  }
+  rwset_.reads.push_back(std::move(item));
+  if (!vv.has_value()) return std::nullopt;
+  return vv->value;
+}
+
+void ChaincodeStub::PutState(const std::string& key, std::string value) {
+  rwset_.writes.push_back(WriteItem{key, std::move(value), false});
+}
+
+void ChaincodeStub::DelState(const std::string& key) {
+  rwset_.writes.push_back(WriteItem{key, "", true});
+}
+
+std::vector<StateEntry> ChaincodeStub::GetStateByRange(
+    const std::string& start_key, const std::string& end_key) {
+  std::vector<StateEntry> entries = db_.GetRange(start_key, end_key);
+  RangeQueryInfo info;
+  info.start_key = start_key;
+  info.end_key = end_key;
+  info.phantom_check = true;
+  info.reads.reserve(entries.size());
+  for (const StateEntry& e : entries) {
+    info.reads.push_back(ReadItem{e.key, e.vv.version, true});
+  }
+  rwset_.range_queries.push_back(std::move(info));
+  return entries;
+}
+
+Result<std::vector<StateEntry>> ChaincodeStub::GetQueryResult(
+    const std::string& selector) {
+  if (!rich_queries_supported_) {
+    return Status::Unimplemented(
+        "rich queries require CouchDB as the state database");
+  }
+  Result<RichQuerySelector> parsed = RichQuerySelector::Parse(selector);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<StateEntry> entries = ExecuteRichQuery(db_, parsed.value());
+  RangeQueryInfo info;
+  info.phantom_check = false;  // Fabric does not re-execute rich queries
+  info.rich_selector = selector;
+  info.reads.reserve(entries.size());
+  for (const StateEntry& e : entries) {
+    info.reads.push_back(ReadItem{e.key, e.vv.version, true});
+  }
+  rwset_.range_queries.push_back(std::move(info));
+  return entries;
+}
+
+}  // namespace fabricsim

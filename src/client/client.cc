@@ -1,0 +1,143 @@
+#include "src/client/client.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace fabricsim {
+
+Client::Client(Params params) : p_(std::move(params)) {}
+
+void Client::Start() { ScheduleNextArrival(); }
+
+void Client::ScheduleNextArrival() {
+  double mean_us = 1e6 / p_.arrival_rate_tps;
+  SimTime gap = static_cast<SimTime>(p_.rng.Exponential(mean_us));
+  if (gap < 1) gap = 1;
+  p_.env->Schedule(gap, [this]() {
+    if (p_.env->now() > p_.load_end_time) return;  // load phase over
+    SubmitOne();
+    ScheduleNextArrival();
+  });
+}
+
+void Client::SubmitOne() {
+  TxId tx_id = ++(*p_.tx_id_counter);
+  ++p_.stats->txs_generated;
+
+  PendingTx pending;
+  pending.invocation = p_.workload->Next(p_.rng);
+  pending.submit_time = p_.env->now();
+
+  // One endorsing peer per organization of a minimal policy-
+  // satisfying set (service-discovery style), round-robin within the
+  // org (flow step 1). For P0 (all orgs) this is every organization.
+  std::vector<Peer*> targets;
+  for (OrgId org : p_.policy->ChooseSatisfyingOrgs(round_robin_)) {
+    const std::vector<Peer*>& org_peers =
+        p_.peers_by_org[static_cast<size_t>(org)];
+    if (org_peers.empty()) continue;
+    targets.push_back(org_peers[round_robin_ % org_peers.size()]);
+  }
+  ++round_robin_;
+  pending.expected = targets.size();
+  in_flight_.emplace(tx_id, std::move(pending));
+
+  for (Peer* peer : targets) {
+    ProposalRequest request;
+    request.tx_id = tx_id;
+    request.invocation = in_flight_[tx_id].invocation;
+    NodeId peer_node = peer->node();
+    request.reply = [this, peer_node](const ProposalResponse& response) {
+      uint64_t bytes = response.rwset.ByteSize() + 96;
+      // Large rw-sets (DV/SCM range scans) make responses heavy; ship
+      // one copy through the network callback.
+      auto shared = std::make_shared<ProposalResponse>(response);
+      p_.net->Send(*p_.env, peer_node, p_.node, bytes,
+                   [this, shared]() { OnEndorsement(std::move(*shared)); });
+    };
+    p_.net->Send(*p_.env, p_.node, peer_node, 300,
+                 [peer, request = std::move(request)]() mutable {
+                   peer->HandleProposal(std::move(request));
+                 });
+  }
+}
+
+void Client::OnEndorsement(ProposalResponse response) {
+  auto it = in_flight_.find(response.tx_id);
+  if (it == in_flight_.end()) return;
+  it->second.responses.push_back(std::move(response));
+  if (it->second.responses.size() < it->second.expected) return;
+  PendingTx pending = std::move(it->second);
+  TxId tx_id = it->first;
+  in_flight_.erase(it);
+  FinalizeTx(tx_id, std::move(pending));
+}
+
+void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
+  // Any chaincode-level error response makes the client drop the
+  // transaction (it can never gather a valid endorsement set).
+  for (const ProposalResponse& r : pending.responses) {
+    if (!r.app_ok) {
+      ++p_.stats->app_errors;
+      return;
+    }
+  }
+
+  // Pick the largest digest-consistent endorsement group and attach
+  // that group's rw-set as the envelope payload. The paper's default
+  // flow skips the optional client-side consistency check (step 3), so
+  // mismatching signatures travel along and fail VSCC later.
+  std::map<uint64_t, size_t> group_counts;
+  for (const ProposalResponse& r : pending.responses) {
+    group_counts[r.endorsement.rwset_digest]++;
+  }
+  uint64_t best_digest = 0;
+  size_t best_count = 0;
+  for (const ProposalResponse& r : pending.responses) {
+    size_t count = group_counts[r.endorsement.rwset_digest];
+    if (count > best_count) {
+      best_count = count;
+      best_digest = r.endorsement.rwset_digest;
+    }
+  }
+
+  Transaction tx;
+  tx.id = tx_id;
+  tx.chaincode = p_.workload->chaincode();
+  tx.function = pending.invocation.function;
+  tx.args = pending.invocation.args;
+  tx.client_submit_time = pending.submit_time;
+  tx.endorsed_time = p_.env->now();
+  bool rwset_attached = false;
+  for (ProposalResponse& r : pending.responses) {
+    if (!rwset_attached && r.endorsement.rwset_digest == best_digest) {
+      tx.rwset = std::move(r.rwset);
+      rwset_attached = true;
+    }
+    tx.endorsements.push_back(r.endorsement);
+  }
+  tx.read_only = tx.rwset.IsReadOnly();
+
+  if (tx.read_only && !p_.submit_read_only) {
+    // Recommendation #4: the query result is already known after the
+    // execution phase; skip ordering.
+    ++p_.stats->read_only_skipped;
+    return;
+  }
+
+  ++p_.stats->txs_submitted;
+  SimTime collect_cost =
+      p_.timing.client_collect_cost *
+      static_cast<SimTime>(pending.responses.size());
+  uint64_t bytes = tx.ByteSize();
+  auto shared_tx = std::make_shared<Transaction>(std::move(tx));
+  p_.env->Schedule(collect_cost, [this, shared_tx, bytes]() {
+    p_.net->Send(*p_.env, p_.node, p_.orderer_node, bytes,
+                 [this, shared_tx]() {
+                   p_.orderer->SubmitTransaction(std::move(*shared_tx));
+                 });
+  });
+}
+
+}  // namespace fabricsim

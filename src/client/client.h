@@ -1,0 +1,90 @@
+#ifndef FABRICSIM_CLIENT_CLIENT_H_
+#define FABRICSIM_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ordering/orderer.h"
+#include "src/peer/peer.h"
+#include "src/policy/endorsement_policy.h"
+#include "src/workload/workload_generator.h"
+
+namespace fabricsim {
+
+/// Client-side counters that never reach the ledger. Everything else
+/// is measured by parsing the blockchain (paper §4.5).
+struct RunStats {
+  uint64_t txs_generated = 0;
+  uint64_t txs_submitted = 0;
+  /// Endorsement responses carrying a chaincode error; the client
+  /// drops such transactions (not one of the paper's failure types).
+  uint64_t app_errors = 0;
+  /// Read-only transactions not submitted for ordering (only when the
+  /// client is configured per the paper's recommendation #4).
+  uint64_t read_only_skipped = 0;
+  /// FabricSharp early aborts: rejected before/at ordering, never on
+  /// the blockchain.
+  uint64_t early_aborts_not_serializable = 0;
+  /// Fabric++ cycle aborts in the ordering phase, never on the
+  /// blockchain.
+  uint64_t early_aborts_by_reordering = 0;
+};
+
+/// An open-loop client process (Caliper worker analogue): draws
+/// invocations from the shared workload, collects endorsements from
+/// one peer per organization mentioned in the policy, assembles the
+/// envelope and submits it for ordering.
+class Client {
+ public:
+  struct Params {
+    int id = 0;
+    NodeId node = 0;
+    Environment* env = nullptr;
+    Network* net = nullptr;
+    WorkloadGenerator* workload = nullptr;
+    const EndorsementPolicy* policy = nullptr;
+    /// peers_by_org[org] lists the endorsing peers of that org; the
+    /// client round-robins within each org.
+    std::vector<std::vector<Peer*>> peers_by_org;
+    Orderer* orderer = nullptr;
+    NodeId orderer_node = 0;
+    TimingConfig timing;
+    Rng rng{1, 1};
+    /// This client's share of the total arrival rate.
+    double arrival_rate_tps = 20.0;
+    /// Submissions stop at this simulated time; in-flight work drains.
+    SimTime load_end_time = 0;
+    bool submit_read_only = true;
+    RunStats* stats = nullptr;
+    /// Shared monotonic transaction-id counter across clients.
+    TxId* tx_id_counter = nullptr;
+  };
+
+  explicit Client(Params params);
+
+  /// Schedules the first arrival.
+  void Start();
+
+ private:
+  struct PendingTx {
+    Invocation invocation;
+    SimTime submit_time = 0;
+    size_t expected = 0;
+    std::vector<ProposalResponse> responses;
+  };
+
+  void ScheduleNextArrival();
+  void SubmitOne();
+  void OnEndorsement(ProposalResponse response);
+  void FinalizeTx(TxId tx_id, PendingTx pending);
+
+  Params p_;
+  std::unordered_map<TxId, PendingTx> in_flight_;
+  uint64_t round_robin_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CLIENT_CLIENT_H_

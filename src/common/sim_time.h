@@ -1,0 +1,39 @@
+#ifndef FABRICSIM_COMMON_SIM_TIME_H_
+#define FABRICSIM_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace fabricsim {
+
+/// Simulated time in microseconds since the start of a run. Signed so
+/// that subtraction yields durations without surprises.
+using SimTime = int64_t;
+
+/// Duration aliases (all in SimTime microseconds).
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a SimTime duration to (floating point) seconds.
+inline double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a SimTime duration to (floating point) milliseconds.
+inline double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts (floating point) seconds to SimTime, rounding down.
+inline SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Converts (floating point) milliseconds to SimTime, rounding down.
+inline SimTime FromMillis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_COMMON_SIM_TIME_H_

@@ -1,0 +1,101 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fabricsim {
+
+void SummaryStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+namespace {
+// Buckets: [0, 0.001ms) then geometric with ratio ~1.05 starting at
+// 1 microsecond, covering up to ~hours in 512 buckets.
+constexpr double kFirstBucket = 0.001;
+constexpr double kRatio = 1.06;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+size_t Histogram::BucketFor(double value) const {
+  if (value < kFirstBucket) return 0;
+  double idx = std::log(value / kFirstBucket) / std::log(kRatio);
+  size_t bucket = static_cast<size_t>(idx) + 1;
+  return std::min(bucket, kBucketCount - 1);
+}
+
+double Histogram::BucketLow(size_t index) const {
+  if (index == 0) return 0.0;
+  return kFirstBucket * std::pow(kRatio, static_cast<double>(index - 1));
+}
+
+double Histogram::BucketHigh(size_t index) const {
+  return kFirstBucket * std::pow(kRatio, static_cast<double>(index));
+}
+
+void Histogram::Add(double value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      return BucketLow(i) + frac * (BucketHigh(i) - BucketLow(i));
+    }
+    cum = next;
+  }
+  return BucketHigh(buckets_.size() - 1);
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,63 @@
+#ifndef FABRICSIM_COMMON_STATS_H_
+#define FABRICSIM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fabricsim {
+
+/// Online mean/min/max/stddev accumulator (Welford's algorithm).
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const SummaryStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-resolution latency histogram with logarithmic-ish buckets,
+/// supporting approximate percentile queries. Values are arbitrary
+/// doubles >= 0 (we use milliseconds).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const;
+  /// Approximate p-quantile (q in [0,1]); linear interpolation inside
+  /// the bucket that contains the quantile.
+  double Percentile(double q) const;
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketLow(size_t index) const;
+  double BucketHigh(size_t index) const;
+
+  static constexpr size_t kBucketCount = 512;
+  std::vector<uint64_t> buckets_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_COMMON_STATS_H_

@@ -1,0 +1,45 @@
+#include "src/core/block_size_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fabricsim {
+
+BlockSizeAdvisor::BlockSizeAdvisor(double default_slope)
+    : default_slope_(default_slope) {}
+
+void BlockSizeAdvisor::AddObservation(double rate_tps,
+                                      uint32_t best_block_size) {
+  if (rate_tps <= 0) return;
+  observations_.push_back(
+      Observation{rate_tps, static_cast<double>(best_block_size)});
+}
+
+double BlockSizeAdvisor::slope() const {
+  if (observations_.empty()) return default_slope_;
+  // Least squares through the origin: slope = sum(x*y) / sum(x^2).
+  double xy = 0.0;
+  double xx = 0.0;
+  for (const Observation& obs : observations_) {
+    xy += obs.rate * obs.best;
+    xx += obs.rate * obs.rate;
+  }
+  if (xx <= 0) return default_slope_;
+  return xy / xx;
+}
+
+uint32_t BlockSizeAdvisor::Recommend(double rate_tps) const {
+  double recommended = slope() * std::max(rate_tps, 0.0);
+  double clamped = std::clamp(recommended, static_cast<double>(min_size),
+                              static_cast<double>(max_size));
+  return static_cast<uint32_t>(std::lround(clamped));
+}
+
+uint32_t BlockSizeAdvisor::RecommendFromWindow(uint64_t txs_in_window,
+                                               double window_seconds) const {
+  if (window_seconds <= 0) return min_size;
+  double rate = static_cast<double>(txs_in_window) / window_seconds;
+  return Recommend(rate);
+}
+
+}  // namespace fabricsim

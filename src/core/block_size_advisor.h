@@ -1,0 +1,57 @@
+#ifndef FABRICSIM_CORE_BLOCK_SIZE_ADVISOR_H_
+#define FABRICSIM_CORE_BLOCK_SIZE_ADVISOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fabricsim {
+
+/// Adaptive block-size controller — an implementation of the paper's
+/// first future-research direction (§6.2): monitor the transaction
+/// arrival rate and adapt the block size dynamically.
+///
+/// The paper observes an approximately linear relation between the
+/// arrival rate and the best block size (Fig. 4), with a
+/// chaincode-dependent slope. The advisor therefore fits
+///   best_block_size ≈ slope * arrival_rate
+/// by least squares through the origin over calibration observations
+/// (e.g. from FindBestBlockSize sweeps), and falls back to a
+/// conservative default slope when uncalibrated.
+class BlockSizeAdvisor {
+ public:
+  /// `default_slope` is the blocks-per-(tps) ratio used before any
+  /// observation; 0.5 corresponds to cutting ~2 blocks per second.
+  explicit BlockSizeAdvisor(double default_slope = 0.5);
+
+  /// Records that `best_block_size` minimized failures at `rate_tps`.
+  void AddObservation(double rate_tps, uint32_t best_block_size);
+
+  /// Recommends a block size for the given arrival rate, clamped to
+  /// [min_size, max_size].
+  uint32_t Recommend(double rate_tps) const;
+
+  /// Feeds a window of observed inter-arrival counts (e.g. from the
+  /// last monitoring interval) and returns the recommendation for the
+  /// measured rate — the "monitor and adapt" loop.
+  uint32_t RecommendFromWindow(uint64_t txs_in_window,
+                               double window_seconds) const;
+
+  double slope() const;
+  size_t observation_count() const { return observations_.size(); }
+
+  uint32_t min_size = 10;
+  uint32_t max_size = 500;
+
+ private:
+  struct Observation {
+    double rate;
+    double best;
+  };
+  double default_slope_;
+  std::vector<Observation> observations_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CORE_BLOCK_SIZE_ADVISOR_H_

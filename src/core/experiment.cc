@@ -1,0 +1,64 @@
+#include "src/core/experiment.h"
+
+#include "src/chaincode/digital_voting.h"
+#include "src/chaincode/drm.h"
+#include "src/chaincode/ehr.h"
+#include "src/chaincode/genchain.h"
+#include "src/chaincode/supply_chain.h"
+#include "src/common/strings.h"
+
+namespace fabricsim {
+
+ExperimentConfig ExperimentConfig::Defaults() {
+  ExperimentConfig config;
+  config.fabric.variant = FabricVariant::kFabric14;
+  config.fabric.cluster = ClusterConfig::C1();
+  config.fabric.db_type = DatabaseType::kCouchDb;
+  config.fabric.block_size = 100;
+  config.workload.chaincode = "ehr";
+  config.workload.mix = WorkloadMix::kUniform;
+  config.workload.zipf_skew = 1.0;
+  config.arrival_rate_tps = 100.0;
+  return config;
+}
+
+ExperimentConfig ExperimentConfig::DefaultsC2() {
+  ExperimentConfig config = Defaults();
+  config.fabric.cluster = ClusterConfig::C2();
+  return config;
+}
+
+std::string ExperimentConfig::Describe() const {
+  return StrFormat(
+      "%s | %s | %s | bs=%u | %.0f tps | %d orgs x %d peers | skew=%.1f | %s",
+      FabricVariantToString(fabric.variant), workload.chaincode.c_str(),
+      DatabaseTypeToString(fabric.db_type), fabric.block_size,
+      arrival_rate_tps, fabric.cluster.num_orgs, fabric.cluster.peers_per_org,
+      workload.zipf_skew, WorkloadMixToString(workload.mix));
+}
+
+Result<std::shared_ptr<Chaincode>> MakeChaincodeFor(
+    const WorkloadConfig& workload) {
+  const std::string& name = workload.chaincode;
+  if (name == "ehr") {
+    return std::shared_ptr<Chaincode>(std::make_shared<EhrChaincode>());
+  }
+  if (name == "dv") {
+    return std::shared_ptr<Chaincode>(
+        std::make_shared<DigitalVotingChaincode>());
+  }
+  if (name == "scm") {
+    return std::shared_ptr<Chaincode>(
+        std::make_shared<SupplyChainChaincode>());
+  }
+  if (name == "drm") {
+    return std::shared_ptr<Chaincode>(std::make_shared<DrmChaincode>());
+  }
+  if (name == "genchain" || name == "genChain") {
+    return std::shared_ptr<Chaincode>(std::make_shared<GenChaincode>(
+        GenChaincodeSpec::PaperDefault(workload.genchain_initial_keys)));
+  }
+  return Status::InvalidArgument("unknown chaincode: " + name);
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,156 @@
+#include "src/core/failure_report.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+
+namespace fabricsim {
+
+FailureReport BuildFailureReport(const BlockStore& ledger,
+                                 const RunStats& stats,
+                                 SimTime load_duration) {
+  FailureReport report;
+  LedgerSummary summary = LedgerParser::Summarize(ledger);
+  report.ledger_txs = summary.total;
+  report.valid_txs = summary.valid;
+  report.endorsement_failures = summary.endorsement_policy_failures;
+  report.mvcc_intra = summary.mvcc_intra_block;
+  report.mvcc_inter = summary.mvcc_inter_block;
+  report.phantom = summary.phantom_read_conflicts;
+  // Fabric++ aborts in the ordering phase; they normally never reach
+  // the ledger, but blocks pre-marked by custom processors may still
+  // carry them — count both sources.
+  report.reorder_aborts =
+      summary.reordering_aborts + stats.early_aborts_by_reordering;
+  report.early_aborts = stats.early_aborts_not_serializable;
+  report.submitted_txs = stats.txs_submitted;
+  report.app_errors = stats.app_errors;
+
+  if (summary.total > 0) {
+    double n = static_cast<double>(summary.total);
+    report.total_failure_pct =
+        100.0 * static_cast<double>(summary.failed()) / n;
+    report.endorsement_pct =
+        100.0 * static_cast<double>(summary.endorsement_policy_failures) / n;
+    report.mvcc_intra_pct =
+        100.0 * static_cast<double>(summary.mvcc_intra_block) / n;
+    report.mvcc_inter_pct =
+        100.0 * static_cast<double>(summary.mvcc_inter_block) / n;
+    report.mvcc_pct = report.mvcc_intra_pct + report.mvcc_inter_pct;
+    report.phantom_pct =
+        100.0 * static_cast<double>(summary.phantom_read_conflicts) / n;
+  }
+  if (stats.txs_submitted > 0) {
+    report.early_abort_pct =
+        100.0 * static_cast<double>(stats.early_aborts_not_serializable) /
+        static_cast<double>(stats.txs_submitted);
+    report.reorder_abort_pct =
+        100.0 *
+        (static_cast<double>(summary.reordering_aborts) +
+         static_cast<double>(stats.early_aborts_by_reordering)) /
+        static_cast<double>(stats.txs_submitted);
+  }
+
+  // Latency over all ledger transactions (failed and successful), and
+  // the count of transactions that committed within the load window
+  // (the throughput the paper measures; commits during the drain
+  // phase of a saturated system do not count).
+  Histogram latencies;
+  uint64_t committed_in_window = 0;
+  for (const TxRecord& rec : LedgerParser::Parse(ledger)) {
+    latencies.Add(ToMillis(rec.TotalLatency()));
+    if (rec.committed_time <= load_duration) ++committed_in_window;
+  }
+  if (latencies.count() > 0) {
+    report.avg_latency_s = latencies.mean() / 1000.0;
+    report.p50_latency_s = latencies.Percentile(0.5) / 1000.0;
+    report.p99_latency_s = latencies.Percentile(0.99) / 1000.0;
+  }
+
+  double seconds = ToSeconds(load_duration);
+  if (seconds > 0) {
+    report.committed_throughput_tps =
+        static_cast<double>(committed_in_window) / seconds;
+    report.valid_throughput_tps =
+        static_cast<double>(summary.valid) / seconds;
+  }
+  return report;
+}
+
+FailureReport FailureReport::Average(
+    const std::vector<FailureReport>& reports) {
+  FailureReport mean;
+  if (reports.empty()) return mean;
+  double n = static_cast<double>(reports.size());
+  auto avg_u = [&](auto getter) {
+    double sum = 0;
+    for (const FailureReport& r : reports) {
+      sum += static_cast<double>(getter(r));
+    }
+    return static_cast<uint64_t>(sum / n + 0.5);
+  };
+  auto avg_d = [&](auto getter) {
+    double sum = 0;
+    for (const FailureReport& r : reports) sum += getter(r);
+    return sum / n;
+  };
+  mean.ledger_txs = avg_u([](const auto& r) { return r.ledger_txs; });
+  mean.valid_txs = avg_u([](const auto& r) { return r.valid_txs; });
+  mean.endorsement_failures =
+      avg_u([](const auto& r) { return r.endorsement_failures; });
+  mean.mvcc_intra = avg_u([](const auto& r) { return r.mvcc_intra; });
+  mean.mvcc_inter = avg_u([](const auto& r) { return r.mvcc_inter; });
+  mean.phantom = avg_u([](const auto& r) { return r.phantom; });
+  mean.reorder_aborts = avg_u([](const auto& r) { return r.reorder_aborts; });
+  mean.early_aborts = avg_u([](const auto& r) { return r.early_aborts; });
+  mean.submitted_txs = avg_u([](const auto& r) { return r.submitted_txs; });
+  mean.app_errors = avg_u([](const auto& r) { return r.app_errors; });
+  mean.total_failure_pct =
+      avg_d([](const auto& r) { return r.total_failure_pct; });
+  mean.endorsement_pct = avg_d([](const auto& r) { return r.endorsement_pct; });
+  mean.mvcc_intra_pct = avg_d([](const auto& r) { return r.mvcc_intra_pct; });
+  mean.mvcc_inter_pct = avg_d([](const auto& r) { return r.mvcc_inter_pct; });
+  mean.mvcc_pct = avg_d([](const auto& r) { return r.mvcc_pct; });
+  mean.phantom_pct = avg_d([](const auto& r) { return r.phantom_pct; });
+  mean.reorder_abort_pct =
+      avg_d([](const auto& r) { return r.reorder_abort_pct; });
+  mean.early_abort_pct = avg_d([](const auto& r) { return r.early_abort_pct; });
+  mean.avg_latency_s = avg_d([](const auto& r) { return r.avg_latency_s; });
+  mean.p50_latency_s = avg_d([](const auto& r) { return r.p50_latency_s; });
+  mean.p99_latency_s = avg_d([](const auto& r) { return r.p99_latency_s; });
+  mean.committed_throughput_tps =
+      avg_d([](const auto& r) { return r.committed_throughput_tps; });
+  mean.valid_throughput_tps =
+      avg_d([](const auto& r) { return r.valid_throughput_tps; });
+  return mean;
+}
+
+std::string FailureReport::ToString() const {
+  std::string out;
+  out += StrFormat(
+      "ledger txs: %llu (valid %llu) | submitted %llu | app errors %llu\n",
+      static_cast<unsigned long long>(ledger_txs),
+      static_cast<unsigned long long>(valid_txs),
+      static_cast<unsigned long long>(submitted_txs),
+      static_cast<unsigned long long>(app_errors));
+  out += StrFormat(
+      "failures: total %.2f%% | endorsement %.2f%% | mvcc %.2f%% "
+      "(intra %.2f%%, inter %.2f%%) | phantom %.2f%%",
+      total_failure_pct, endorsement_pct, mvcc_pct, mvcc_intra_pct,
+      mvcc_inter_pct, phantom_pct);
+  if (reorder_aborts > 0) {
+    out += StrFormat(" | reorder-aborts %.2f%%", reorder_abort_pct);
+  }
+  if (early_aborts > 0) {
+    out += StrFormat(" | early-aborts %.2f%% of submitted", early_abort_pct);
+  }
+  out += StrFormat(
+      "\nlatency: avg %.3fs p50 %.3fs p99 %.3fs | throughput: %.1f tps "
+      "committed, %.1f tps valid\n",
+      avg_latency_s, p50_latency_s, p99_latency_s, committed_throughput_tps,
+      valid_throughput_tps);
+  return out;
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,64 @@
+#ifndef FABRICSIM_CORE_FAILURE_REPORT_H_
+#define FABRICSIM_CORE_FAILURE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/ledger/ledger_parser.h"
+
+namespace fabricsim {
+
+/// Aggregated metrics of one run, computed by parsing the blockchain
+/// after the experiment (paper §4.5): failure percentages per type,
+/// average total transaction latency over successful *and* failed
+/// transactions, and committed transaction throughput.
+struct FailureReport {
+  // Counts.
+  uint64_t ledger_txs = 0;        ///< transactions on the blockchain
+  uint64_t valid_txs = 0;
+  uint64_t endorsement_failures = 0;
+  uint64_t mvcc_intra = 0;
+  uint64_t mvcc_inter = 0;
+  uint64_t phantom = 0;
+  uint64_t reorder_aborts = 0;    ///< Fabric++ in-block aborts
+  uint64_t early_aborts = 0;      ///< FabricSharp, never on chain
+  uint64_t submitted_txs = 0;
+  uint64_t app_errors = 0;
+
+  // Percentages of ledger transactions.
+  double total_failure_pct = 0;
+  double endorsement_pct = 0;
+  double mvcc_intra_pct = 0;
+  double mvcc_inter_pct = 0;
+  double mvcc_pct = 0;
+  double phantom_pct = 0;
+  double reorder_abort_pct = 0;
+  /// Early aborts as a percentage of submitted transactions.
+  double early_abort_pct = 0;
+
+  // Latency in seconds, over all ledger transactions.
+  double avg_latency_s = 0;
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+
+  // Throughput in tps over the load duration.
+  double committed_throughput_tps = 0;  ///< ledger txs / duration
+  double valid_throughput_tps = 0;      ///< valid txs / duration
+
+  /// Element-wise mean of several runs (the paper's >=3 repetitions).
+  static FailureReport Average(const std::vector<FailureReport>& reports);
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Builds the report from a parsed ledger plus the client-side
+/// counters. `load_duration` is the length of the submission phase.
+FailureReport BuildFailureReport(const BlockStore& ledger,
+                                 const RunStats& stats,
+                                 SimTime load_duration);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CORE_FAILURE_REPORT_H_

@@ -1,0 +1,37 @@
+#ifndef FABRICSIM_CORE_RECOMMENDATIONS_H_
+#define FABRICSIM_CORE_RECOMMENDATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/failure_report.h"
+
+namespace fabricsim {
+
+/// One actionable recommendation derived from a measured report.
+struct Recommendation {
+  /// Which of the paper's §6.1 rules fired (stable identifier).
+  std::string rule;
+  std::string advice;
+};
+
+/// Encodes the paper's "Insights & Recommendations" (§6.1) as a rule
+/// engine over a measured failure report:
+///  1. adapt block size to the observed arrival rate;
+///  2. fewer orgs / fewer signatures / fewer sub-policies when
+///     endorsement failures dominate;
+///  3. avoid rich and range queries (LevelDB, smaller ranges) when
+///     phantoms or CouchDB latency dominate;
+///  4. batch or skip read-only submissions;
+///  plus variant guidance (Fabric++/FabricSharp only pay off when
+///  there is reordering potential; Streamchain only at low rates).
+std::vector<Recommendation> DeriveRecommendations(
+    const ExperimentConfig& config, const FailureReport& report);
+
+/// Renders recommendations as a numbered list.
+std::string FormatRecommendations(const std::vector<Recommendation>& recs);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CORE_RECOMMENDATIONS_H_

@@ -1,0 +1,49 @@
+#include "src/core/runner.h"
+
+#include <memory>
+
+#include "src/fabric/fabric_network.h"
+#include "src/workload/paper_workloads.h"
+
+namespace fabricsim {
+
+Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed) {
+  Result<std::shared_ptr<Chaincode>> chaincode =
+      MakeChaincodeFor(config.workload);
+  if (!chaincode.ok()) return chaincode.status();
+
+  bool rich = config.fabric.db_type == DatabaseType::kCouchDb;
+  WorkloadConfig workload_config = config.workload;
+  if (config.fabric.variant == FabricVariant::kFabricSharp) {
+    // FabricSharp does not support range queries (paper §5.4.3).
+    workload_config.include_range_reads = false;
+  }
+  Result<std::unique_ptr<WorkloadGenerator>> workload =
+      MakeWorkload(workload_config, rich);
+  if (!workload.ok()) return workload.status();
+
+  Environment env(seed);
+  FabricNetwork network(config.fabric, &env, chaincode.value(),
+                        std::shared_ptr<WorkloadGenerator>(
+                            std::move(workload).value()));
+  FABRICSIM_RETURN_NOT_OK(network.Init());
+  network.StartLoad(config.arrival_rate_tps, config.duration);
+  env.RunAll();
+  return BuildFailureReport(network.ledger(), network.stats(),
+                            config.duration);
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  int reps = config.repetitions < 1 ? 1 : config.repetitions;
+  for (int i = 0; i < reps; ++i) {
+    Result<FailureReport> report =
+        RunOnce(config, config.base_seed + static_cast<uint64_t>(i));
+    if (!report.ok()) return report.status();
+    result.repetitions.push_back(std::move(report).value());
+  }
+  result.mean = FailureReport::Average(result.repetitions);
+  return result;
+}
+
+}  // namespace fabricsim

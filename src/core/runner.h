@@ -1,0 +1,28 @@
+#ifndef FABRICSIM_CORE_RUNNER_H_
+#define FABRICSIM_CORE_RUNNER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/experiment.h"
+#include "src/core/failure_report.h"
+
+namespace fabricsim {
+
+/// Mean + per-repetition reports for one experiment.
+struct ExperimentResult {
+  FailureReport mean;
+  std::vector<FailureReport> repetitions;
+};
+
+/// Runs one experiment: builds a fresh network per repetition (seeds
+/// base_seed, base_seed+1, ...), drives the load, drains the pipeline
+/// and parses the blockchain. Deterministic for a given config.
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+/// Single-repetition convenience used by tests and examples.
+Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CORE_RUNNER_H_

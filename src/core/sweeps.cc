@@ -1,0 +1,54 @@
+#include "src/core/sweeps.h"
+
+namespace fabricsim {
+
+std::vector<uint32_t> DefaultBlockSizes() { return {10, 25, 50, 100, 200}; }
+
+Result<std::vector<BlockSizePoint>> SweepBlockSizes(
+    ExperimentConfig config, const std::vector<uint32_t>& sizes) {
+  std::vector<BlockSizePoint> points;
+  for (uint32_t size : sizes) {
+    config.fabric.block_size = size;
+    Result<ExperimentResult> result = RunExperiment(config);
+    if (!result.ok()) return result.status();
+    points.push_back(BlockSizePoint{size, std::move(result).value().mean});
+  }
+  return points;
+}
+
+Result<BlockSizeSearch> FindBestBlockSize(ExperimentConfig config,
+                                          const std::vector<uint32_t>& sizes) {
+  Result<std::vector<BlockSizePoint>> points =
+      SweepBlockSizes(std::move(config), sizes);
+  if (!points.ok()) return points.status();
+  BlockSizeSearch search;
+  search.points = std::move(points).value();
+  bool first = true;
+  for (const BlockSizePoint& point : search.points) {
+    double pct = point.report.total_failure_pct;
+    if (first || pct < search.min_failure_pct) {
+      search.min_failure_pct = pct;
+      search.best_block_size = point.block_size;
+    }
+    if (first || pct > search.max_failure_pct) {
+      search.max_failure_pct = pct;
+      search.worst_block_size = point.block_size;
+    }
+    first = false;
+  }
+  return search;
+}
+
+Result<std::vector<RatePoint>> SweepArrivalRates(
+    ExperimentConfig config, const std::vector<double>& rates) {
+  std::vector<RatePoint> points;
+  for (double rate : rates) {
+    config.arrival_rate_tps = rate;
+    Result<ExperimentResult> result = RunExperiment(config);
+    if (!result.ok()) return result.status();
+    points.push_back(RatePoint{rate, std::move(result).value().mean});
+  }
+  return points;
+}
+
+}  // namespace fabricsim

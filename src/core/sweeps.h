@@ -1,0 +1,49 @@
+#ifndef FABRICSIM_CORE_SWEEPS_H_
+#define FABRICSIM_CORE_SWEEPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/runner.h"
+
+namespace fabricsim {
+
+/// The block sizes the paper sweeps.
+std::vector<uint32_t> DefaultBlockSizes();
+
+/// One point of a block-size sweep.
+struct BlockSizePoint {
+  uint32_t block_size = 0;
+  FailureReport report;
+};
+
+/// Runs `config` at each block size (everything else fixed).
+Result<std::vector<BlockSizePoint>> SweepBlockSizes(
+    ExperimentConfig config, const std::vector<uint32_t>& sizes);
+
+/// Outcome of a best/worst block-size search (paper §5.1.1: "best
+/// block size" minimizes the failed-transaction percentage, "worst"
+/// maximizes it).
+struct BlockSizeSearch {
+  uint32_t best_block_size = 0;
+  uint32_t worst_block_size = 0;
+  double min_failure_pct = 0;
+  double max_failure_pct = 0;
+  std::vector<BlockSizePoint> points;
+};
+
+Result<BlockSizeSearch> FindBestBlockSize(ExperimentConfig config,
+                                          const std::vector<uint32_t>& sizes);
+
+/// One point of an arrival-rate sweep.
+struct RatePoint {
+  double rate_tps = 0;
+  FailureReport report;
+};
+
+Result<std::vector<RatePoint>> SweepArrivalRates(
+    ExperimentConfig config, const std::vector<double>& rates);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CORE_SWEEPS_H_

@@ -1,0 +1,56 @@
+#ifndef FABRICSIM_EXT_FABRICPP_CONFLICT_GRAPH_H_
+#define FABRICSIM_EXT_FABRICPP_CONFLICT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ledger/transaction.h"
+
+namespace fabricsim {
+
+/// Conflict graph over the transactions of one block, as built by
+/// Fabric++'s reordering mechanism (Sharma et al., SIGMOD'19).
+///
+/// Nodes are transactions; an edge u -> v means "u must be ordered
+/// before v": u reads a key (directly or inside a range query) that v
+/// writes. All reads were endorsed against pre-block state, so a
+/// reader only stays valid if it precedes every in-block writer of the
+/// keys it read. Cycles are non-serializable sets.
+class ConflictGraph {
+ public:
+  /// Builds the graph. `ops` accumulates an operation count
+  /// proportional to the real work (index build + edge derivation),
+  /// which the simulation converts into ordering-service time — this
+  /// is what explodes for large range queries.
+  static ConflictGraph Build(const std::vector<Transaction>& txs,
+                             uint64_t* ops);
+
+  size_t node_count() const { return adj_.size(); }
+  uint64_t edge_count() const { return edge_count_; }
+  const std::vector<std::vector<uint32_t>>& adjacency() const { return adj_; }
+
+  /// Strongly connected components (Tarjan, iterative). Components are
+  /// returned in reverse topological order. `ops` accumulates visited
+  /// nodes+edges.
+  std::vector<std::vector<uint32_t>> StronglyConnectedComponents(
+      uint64_t* ops) const;
+
+  /// Greedy approximation of the minimum feedback vertex set: nodes to
+  /// remove (abort) so the remaining graph is acyclic. Repeatedly
+  /// removes the highest-degree node of any non-trivial SCC.
+  std::vector<uint32_t> GreedyFeedbackVertexSet(uint64_t* ops) const;
+
+  /// Topological order of the graph restricted to `alive` nodes
+  /// (which must induce an acyclic subgraph). Ties broken by original
+  /// index for determinism.
+  std::vector<uint32_t> TopologicalOrder(const std::vector<bool>& alive,
+                                         uint64_t* ops) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_;
+  uint64_t edge_count_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_EXT_FABRICPP_CONFLICT_GRAPH_H_

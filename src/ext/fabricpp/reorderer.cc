@@ -1,0 +1,49 @@
+#include "src/ext/fabricpp/reorderer.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/ext/fabricpp/conflict_graph.h"
+
+namespace fabricsim {
+
+SimTime FabricPlusPlusProcessor::OnBlockCut(
+    Block* block, std::vector<EarlyAbort>* early_aborted) {
+  ++stats_.blocks_processed;
+  if (block->txs.size() < 2) return 0;
+
+  uint64_t ops = 0;
+  ConflictGraph graph = ConflictGraph::Build(block->txs, &ops);
+
+  std::vector<uint32_t> aborted;
+  if (graph.edge_count() > 0) {
+    aborted = graph.GreedyFeedbackVertexSet(&ops);
+  }
+  std::vector<bool> alive(block->txs.size(), true);
+  for (uint32_t idx : aborted) alive[idx] = false;
+
+  std::vector<uint32_t> order = graph.TopologicalOrder(alive, &ops);
+
+  // Rebuild the block with the serialized survivors; cycle members
+  // are early-aborted out of the block (ordering-phase abort).
+  std::vector<Transaction> new_txs;
+  new_txs.reserve(order.size());
+  for (uint32_t idx : order) {
+    new_txs.push_back(std::move(block->txs[idx]));
+  }
+  for (uint32_t idx : aborted) {
+    if (early_aborted != nullptr) {
+      early_aborted->emplace_back(std::move(block->txs[idx]),
+                                  TxValidationCode::kAbortedByReordering);
+    }
+  }
+  block->txs = std::move(new_txs);
+  block->results.assign(block->txs.size(), TxValidationResult{});
+
+  stats_.txs_aborted += aborted.size();
+  stats_.total_ops += ops;
+  return static_cast<SimTime>(static_cast<double>(ops) / 1000.0 *
+                              us_per_kop_);
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,5 @@
+#include "src/ext/streamchain/streamchain.h"
+
+namespace fabricsim {
+// Constants only; see FabricNetwork for the wiring.
+}  // namespace fabricsim

@@ -1,0 +1,220 @@
+#include "src/fabric/fabric_network.h"
+
+#include <utility>
+
+#include "src/ext/streamchain/streamchain.h"
+#include "src/policy/policy_parser.h"
+#include "src/policy/policy_presets.h"
+
+namespace fabricsim {
+
+FabricNetwork::FabricNetwork(FabricConfig config, Environment* env,
+                             std::shared_ptr<Chaincode> chaincode,
+                             std::shared_ptr<WorkloadGenerator> workload)
+    : config_(std::move(config)),
+      env_(env),
+      chaincode_(std::move(chaincode)),
+      workload_(std::move(workload)) {}
+
+FabricNetwork::~FabricNetwork() = default;
+
+Status FabricNetwork::Init() {
+  if (initialized_) {
+    return Status::FailedPrecondition("Init() called twice");
+  }
+  if (chaincode_ == nullptr || workload_ == nullptr) {
+    return Status::InvalidArgument("chaincode and workload are required");
+  }
+  const ClusterConfig& cluster = config_.cluster;
+  if (cluster.num_orgs < 1 || cluster.peers_per_org < 1 ||
+      cluster.num_clients < 1) {
+    return Status::InvalidArgument("cluster must have orgs, peers, clients");
+  }
+
+  // --- Endorsement policy -------------------------------------------
+  if (config_.policy_text.empty()) {
+    policy_ = std::make_unique<EndorsementPolicy>(
+        MakePolicy(PolicyPreset::kP0AllOrgs, cluster.num_orgs));
+  } else {
+    Result<EndorsementPolicy> parsed = PolicyParser::Parse(config_.policy_text);
+    if (!parsed.ok()) return parsed.status();
+    policy_ = std::make_unique<EndorsementPolicy>(std::move(parsed).value());
+    for (OrgId org : policy_->MentionedOrgs()) {
+      if (org < 0 || org >= cluster.num_orgs) {
+        return Status::InvalidArgument("policy references unknown org " +
+                                       std::to_string(org));
+      }
+    }
+  }
+
+  // --- Network + chaos injection -------------------------------------
+  net_ = std::make_unique<Network>(config_.net, env_->rng().Fork(1000));
+
+  // Node ids: orderer 0, peers 1..P, clients P+1.. .
+  NodeId next_node = 0;
+  NodeId orderer_node = next_node++;
+
+  // --- Variant processor ---------------------------------------------
+  BlockProcessor* processor = nullptr;
+  if (config_.variant == FabricVariant::kFabricPlusPlus) {
+    fabricpp_ = std::make_unique<FabricPlusPlusProcessor>();
+    processor = fabricpp_.get();
+  } else if (config_.variant == FabricVariant::kFabricSharp) {
+    fabricsharp_ = std::make_unique<FabricSharpProcessor>(*policy_);
+    processor = fabricsharp_.get();
+  }
+
+  // --- Peers -----------------------------------------------------------
+  DbLatencyProfile db_profile = config_.MakeDbProfile();
+  if (StreamchainModel::UsesRamDisk(config_)) {
+    // Ledger and world state live on a RAM disk (§5.3.3).
+    config_.timing.ledger_append_cost = static_cast<SimTime>(
+        static_cast<double>(config_.timing.ledger_append_cost) *
+        StorageProfile::RamDisk().commit_cost_factor);
+  }
+  double validation_factor =
+      config_.variant == FabricVariant::kStreamchain
+          ? StreamchainModel::kValidationCostFactor
+          : 1.0;
+  validation_cache_ =
+      std::make_unique<ValidationOutcomeCache>(cluster.total_peers());
+  peers_by_org_.assign(static_cast<size_t>(cluster.num_orgs), {});
+  for (int org = 0; org < cluster.num_orgs; ++org) {
+    for (int i = 0; i < cluster.peers_per_org; ++i) {
+      PeerId peer_id = static_cast<PeerId>(peers_.size());
+      NodeId node = next_node++;
+      Peer::Params params;
+      params.id = peer_id;
+      params.org = org;
+      params.node = node;
+      params.env = env_;
+      params.net = net_.get();
+      params.chaincode = chaincode_.get();
+      params.policy = *policy_;
+      params.db_profile = db_profile;
+      params.timing = config_.timing;
+      params.variant = config_.variant;
+      params.validation_cost_factor = validation_factor;
+      params.snapshot_interval = config_.fabricsharp_snapshot_interval;
+      if (config_.variant == FabricVariant::kStreamchain) {
+        params.virtual_block_group = config_.streamchain_virtual_block_size;
+      }
+      params.rng = env_->rng().Fork(2000 + static_cast<uint64_t>(peer_id));
+      params.validation_cache = validation_cache_.get();
+      if (peer_id == 0) {
+        params.on_commit = [this](uint64_t number,
+                                  const ValidationOutcome& outcome) {
+          RecordCommit(number, outcome);
+        };
+      }
+      auto peer = std::make_unique<Peer>(std::move(params));
+      if (org == config_.delayed_org) {
+        net_->InjectDelay(node, InjectedDelay{config_.injected_delay,
+                                              config_.injected_delay_jitter});
+      }
+      peers_by_org_[static_cast<size_t>(org)].push_back(peer.get());
+      peers_.push_back(std::move(peer));
+    }
+  }
+
+  // --- Bootstrap world state -----------------------------------------
+  std::vector<WriteItem> bootstrap = chaincode_->BootstrapState();
+  for (auto& peer : peers_) {
+    FABRICSIM_RETURN_NOT_OK(peer->Bootstrap(bootstrap));
+  }
+
+  // --- Ordering service -----------------------------------------------
+  Orderer::Params oparams;
+  oparams.node = orderer_node;
+  oparams.env = env_;
+  oparams.net = net_.get();
+  oparams.cutter =
+      BlockCutter::Config{config_.block_size, config_.block_max_bytes};
+  oparams.block_timeout = config_.block_timeout;
+  oparams.timing = config_.timing;
+  oparams.consensus = ConsensusModel(config_.cluster.num_orderers,
+                                     config_.timing.consensus_latency);
+  oparams.rng = env_->rng().Fork(3000);
+  oparams.streaming = config_.variant == FabricVariant::kStreamchain;
+  oparams.processor = processor;
+  // Block dissemination follows Fabric's gossip layout: the ordering
+  // service delivers to one leader peer per organization; the leader
+  // forwards to its org members. A chaos-delayed org therefore pays
+  // the injected delay twice on state dissemination (orderer->leader,
+  // leader->member) but only once on the proposal path — its members
+  // endorse on state that lags the healthy orgs.
+  for (const std::vector<Peer*>& org_peers : peers_by_org_) {
+    if (org_peers.empty()) continue;
+    Peer* leader = org_peers.front();
+    std::vector<Peer*> members(org_peers.begin() + 1, org_peers.end());
+    Network* net = net_.get();
+    Environment* env = env_;
+    oparams.peers.push_back(Orderer::Params::PeerEndpoint{
+        leader->node(),
+        [leader, members, net, env](std::shared_ptr<const Block> block) {
+          leader->HandleBlock(block);
+          for (Peer* member : members) {
+            net->Send(*env, leader->node(), member->node(),
+                      block->ByteSize(),
+                      [member, block]() { member->HandleBlock(block); });
+          }
+        }});
+  }
+  oparams.on_block_cut = [this](std::shared_ptr<Block> block) {
+    canonical_blocks_[block->number] = std::move(block);
+  };
+  oparams.on_early_abort = [this](const Transaction&, TxValidationCode code) {
+    if (code == TxValidationCode::kAbortedNotSerializable) {
+      ++stats_.early_aborts_not_serializable;
+    } else if (code == TxValidationCode::kAbortedByReordering) {
+      ++stats_.early_aborts_by_reordering;
+    }
+  };
+  orderer_ = std::make_unique<Orderer>(std::move(oparams));
+
+  initialized_ = true;
+  return Status::OK();
+}
+
+void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
+  const ClusterConfig& cluster = config_.cluster;
+  double per_client = total_rate_tps / cluster.num_clients;
+  NodeId client_node_base =
+      static_cast<NodeId>(1 + peers_.size());
+  for (int i = 0; i < cluster.num_clients; ++i) {
+    Client::Params params;
+    params.id = i;
+    params.node = client_node_base + i;
+    params.env = env_;
+    params.net = net_.get();
+    params.workload = workload_.get();
+    params.policy = policy_.get();
+    params.peers_by_org = peers_by_org_;
+    params.orderer = orderer_.get();
+    params.orderer_node = 0;
+    params.timing = config_.timing;
+    params.rng = env_->rng().Fork(4000 + static_cast<uint64_t>(i));
+    params.arrival_rate_tps = per_client;
+    params.load_end_time = env_->now() + duration;
+    params.submit_read_only = config_.submit_read_only;
+    params.stats = &stats_;
+    params.tx_id_counter = &tx_id_counter_;
+    clients_.push_back(std::make_unique<Client>(std::move(params)));
+    clients_.back()->Start();
+  }
+}
+
+void FabricNetwork::RecordCommit(uint64_t block_number,
+                                 const ValidationOutcome& outcome) {
+  auto it = canonical_blocks_.find(block_number);
+  if (it == canonical_blocks_.end()) return;
+  Block block = *it->second;  // copy: the canonical block stays shared
+  canonical_blocks_.erase(it);
+  block.results = outcome.results;
+  for (Transaction& tx : block.txs) {
+    tx.committed_time = env_->now();
+  }
+  ledger_.Append(std::move(block));
+}
+
+}  // namespace fabricsim

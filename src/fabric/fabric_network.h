@@ -1,0 +1,99 @@
+#ifndef FABRICSIM_FABRIC_FABRIC_NETWORK_H_
+#define FABRICSIM_FABRIC_FABRIC_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/chaincode/chaincode.h"
+#include "src/client/client.h"
+#include "src/common/status.h"
+#include "src/ext/fabricpp/reorderer.h"
+#include "src/ext/fabricsharp/fabricsharp.h"
+#include "src/fabric/network_config.h"
+#include "src/ledger/block_store.h"
+#include "src/ordering/orderer.h"
+#include "src/peer/peer.h"
+#include "src/policy/endorsement_policy.h"
+#include "src/sim/environment.h"
+#include "src/sim/network.h"
+#include "src/workload/workload_generator.h"
+
+namespace fabricsim {
+
+/// A fully wired Fabric network inside one simulation environment:
+/// clients, endorsing peers grouped into organizations, the ordering
+/// service, the configured variant's ordering processor, and the
+/// canonical ledger recorded from the reference peer.
+///
+/// Usage:
+///   Environment env(seed);
+///   FabricNetwork network(config, &env, chaincode, workload);
+///   auto st = network.Init();
+///   network.StartLoad(/*tps=*/100, /*duration=*/FromSeconds(180));
+///   env.RunAll();           // drains in-flight work after the load
+///   const BlockStore& ledger = network.ledger();
+class FabricNetwork {
+ public:
+  FabricNetwork(FabricConfig config, Environment* env,
+                std::shared_ptr<Chaincode> chaincode,
+                std::shared_ptr<WorkloadGenerator> workload);
+  ~FabricNetwork();
+
+  FabricNetwork(const FabricNetwork&) = delete;
+  FabricNetwork& operator=(const FabricNetwork&) = delete;
+
+  /// Builds and bootstraps all actors. Must be called exactly once
+  /// before StartLoad().
+  Status Init();
+
+  /// Starts the open-loop clients: `total_rate_tps` combined arrival
+  /// rate for `duration` of simulated time. Run the environment to
+  /// completion afterwards to drain the pipeline.
+  void StartLoad(double total_rate_tps, SimTime duration);
+
+  /// Canonical ledger (from the reference peer), including failed
+  /// transactions — parse it for metrics, as the paper does.
+  const BlockStore& ledger() const { return ledger_; }
+
+  const RunStats& stats() const { return stats_; }
+  const FabricConfig& config() const { return config_; }
+  const EndorsementPolicy& policy() const { return *policy_; }
+  const Network& net() const { return *net_; }
+  Orderer& orderer() { return *orderer_; }
+  const std::vector<std::unique_ptr<Peer>>& peers() const { return peers_; }
+
+  /// Variant processor stats (null when the variant is not active).
+  const FabricPlusPlusProcessor* fabricpp() const { return fabricpp_.get(); }
+  const FabricSharpProcessor* fabricsharp() const {
+    return fabricsharp_.get();
+  }
+
+ private:
+  void RecordCommit(uint64_t block_number, const ValidationOutcome& outcome);
+
+  FabricConfig config_;
+  Environment* env_;
+  std::shared_ptr<Chaincode> chaincode_;
+  std::shared_ptr<WorkloadGenerator> workload_;
+
+  std::unique_ptr<EndorsementPolicy> policy_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<ValidationOutcomeCache> validation_cache_;
+  std::unique_ptr<FabricPlusPlusProcessor> fabricpp_;
+  std::unique_ptr<FabricSharpProcessor> fabricsharp_;
+  std::unique_ptr<Orderer> orderer_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::vector<Peer*>> peers_by_org_;
+  std::vector<std::unique_ptr<Client>> clients_;
+
+  std::map<uint64_t, std::shared_ptr<Block>> canonical_blocks_;
+  BlockStore ledger_;
+  RunStats stats_;
+  TxId tx_id_counter_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_FABRIC_FABRIC_NETWORK_H_

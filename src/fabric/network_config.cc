@@ -1,0 +1,34 @@
+#include "src/fabric/network_config.h"
+
+namespace fabricsim {
+
+const char* FabricVariantToString(FabricVariant variant) {
+  switch (variant) {
+    case FabricVariant::kFabric14:
+      return "Fabric 1.4";
+    case FabricVariant::kFabricPlusPlus:
+      return "Fabric++";
+    case FabricVariant::kStreamchain:
+      return "Streamchain";
+    case FabricVariant::kFabricSharp:
+      return "FabricSharp";
+  }
+  return "unknown";
+}
+
+DbLatencyProfile FabricConfig::MakeDbProfile() const {
+  DbLatencyProfile profile = db_type == DatabaseType::kLevelDb
+                                 ? DbLatencyProfile::LevelDb()
+                                 : DbLatencyProfile::CouchDb();
+  if (variant == FabricVariant::kStreamchain && streamchain_ram_disk) {
+    StorageProfile storage = StorageProfile::RamDisk();
+    profile.commit_base = static_cast<SimTime>(
+        static_cast<double>(profile.commit_base) * storage.commit_cost_factor);
+    profile.commit_per_write = static_cast<SimTime>(
+        static_cast<double>(profile.commit_per_write) *
+        storage.commit_cost_factor);
+  }
+  return profile;
+}
+
+}  // namespace fabricsim

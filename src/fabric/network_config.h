@@ -1,0 +1,122 @@
+#ifndef FABRICSIM_FABRIC_NETWORK_CONFIG_H_
+#define FABRICSIM_FABRIC_NETWORK_CONFIG_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/sim_time.h"
+#include "src/sim/network.h"
+#include "src/statedb/latency_profile.h"
+
+namespace fabricsim {
+
+/// Which Fabric build runs the experiment (paper §4.5).
+enum class FabricVariant {
+  kFabric14,       ///< stock Fabric 1.4 (Kafka ordering)
+  kFabricPlusPlus, ///< Fabric++: intra-block reordering + early abort
+  kStreamchain,    ///< Streamchain: blockless streaming, RAM disk
+  kFabricSharp,    ///< FabricSharp: cross-block serializability aborts
+};
+
+const char* FabricVariantToString(FabricVariant variant);
+
+/// Cluster topology (paper §4.2). The paper's two setups:
+///  * C1: 3 workers — 2 orgs x 2 peers, 3 orderers, 5 clients.
+///  * C2: 32 workers — 8 orgs x 4 peers, 3 orderers, 25 clients.
+struct ClusterConfig {
+  int num_orgs = 2;
+  int peers_per_org = 2;
+  int num_orderers = 3;
+  int num_clients = 5;
+
+  int total_peers() const { return num_orgs * peers_per_org; }
+
+  static ClusterConfig C1() { return ClusterConfig{2, 2, 3, 5}; }
+  static ClusterConfig C2() { return ClusterConfig{8, 4, 3, 25}; }
+};
+
+/// Service-time calibration for the non-database parts of the
+/// pipeline. Values are chosen so that the simulated testbed saturates
+/// around 200 tps, like the paper's clusters.
+struct TimingConfig {
+  /// Proposal unmarshalling + ACL checks per endorsement request.
+  SimTime proposal_overhead = 300;
+  /// ECDSA signature over the endorsement response.
+  SimTime endorsement_sign_cost = 700;
+  /// Client-side handling per endorsement response.
+  SimTime client_collect_cost = 100;
+  /// Ordering-service consensus latency per block (Kafka round trip).
+  SimTime consensus_latency = 4000;
+  /// Orderer ingress cost per transaction.
+  SimTime orderer_per_tx_cost = 40;
+  /// Block assembly + signing per block.
+  SimTime orderer_per_block_cost = 6000;
+  /// Egress cost per delivered block message per peer.
+  SimTime orderer_per_msg_cost = 150;
+  /// Fabric validates endorsement signatures with a worker pool; the
+  /// summed per-transaction VSCC cost is divided by this factor.
+  int vscc_parallelism = 16;
+  /// Per-block ledger append (block file write + fsync) at each peer.
+  /// Scaled down by the RAM-disk storage profile under Streamchain.
+  SimTime ledger_append_cost = 40000;
+  /// Fractional half-width of the per-task service-time jitter on each
+  /// peer (validation and endorsement). Real peers never take exactly
+  /// the same time to validate a block (database variance, GC, CPU
+  /// contention), so replicas transiently diverge — the root cause of
+  /// endorsement policy failures. 0 disables the jitter.
+  double peer_service_jitter = 0.12;
+};
+
+/// Everything needed to instantiate one Fabric network.
+struct FabricConfig {
+  FabricVariant variant = FabricVariant::kFabric14;
+  ClusterConfig cluster = ClusterConfig::C1();
+  DatabaseType db_type = DatabaseType::kCouchDb;
+
+  /// Endorsement policy text (PolicyParser grammar). When empty, the
+  /// P0 preset (all orgs) is built for cluster.num_orgs.
+  std::string policy_text;
+
+  /// Block cutting parameters (paper §2, step 4).
+  uint32_t block_size = 100;
+  SimTime block_timeout = 2 * kSecond;
+  uint64_t block_max_bytes = 100ull << 20;
+
+  TimingConfig timing;
+  NetworkConfig net;
+
+  /// Pumba-style chaos injection: extra one-way delay applied to every
+  /// peer of `delayed_org` (< 0 disables). Paper Fig. 16 uses
+  /// 100 ± 10 ms on one organization.
+  int delayed_org = -1;
+  SimTime injected_delay = 0;
+  SimTime injected_delay_jitter = 0;
+
+  /// Whether clients submit read-only transactions for ordering (the
+  /// paper's default flow does; its recommendation #4 is not to).
+  bool submit_read_only = true;
+
+  /// Streamchain: ledger/world state on a RAM disk (paper §5.3.3).
+  bool streamchain_ram_disk = true;
+
+  /// Streamchain "virtual block boundary" (proposed by the Streamchain
+  /// authors, highlighted as promising in paper §5.3.3): transactions
+  /// stream one-by-one through ordering, but each peer group-commits
+  /// every N streamed blocks, amortizing the per-block fixed costs
+  /// (state-DB batch + ledger fsync). 1 disables grouping (the
+  /// prototype's behaviour, which is why it needs the RAM disk).
+  uint32_t streamchain_virtual_block_size = 1;
+
+  /// FabricSharp: endorsers execute against block snapshots refreshed
+  /// at this interval, introducing extra endorsement staleness
+  /// (paper §5.4.1).
+  SimTime fabricsharp_snapshot_interval = 300 * kMillisecond;
+
+  /// Returns the database latency profile for db_type, scaled by the
+  /// variant's storage profile (Streamchain RAM disk).
+  DbLatencyProfile MakeDbProfile() const;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_FABRIC_NETWORK_CONFIG_H_

@@ -1,0 +1,5 @@
+#include "src/ledger/block.h"
+
+namespace fabricsim {
+// Block is a plain aggregate; implementation intentionally empty.
+}  // namespace fabricsim

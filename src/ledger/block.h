@@ -1,0 +1,49 @@
+#ifndef FABRICSIM_LEDGER_BLOCK_H_
+#define FABRICSIM_LEDGER_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/ledger/transaction.h"
+
+namespace fabricsim {
+
+/// Why the block cutter emitted this block.
+enum class BlockCutReason : uint8_t {
+  kMaxCount,   ///< reached the configured block size (tx count)
+  kTimeout,    ///< block timeout elapsed with pending transactions
+  kMaxBytes,   ///< accumulated payload reached the byte limit
+  kStreaming,  ///< Streamchain: every transaction is its own "block"
+};
+
+/// Per-transaction validation outcome stored in the block metadata,
+/// mirroring Fabric's transaction filter bitmap (extended with the
+/// MVCC sub-class and the id of the conflicting writer for analysis).
+struct TxValidationResult {
+  TxValidationCode code = TxValidationCode::kNotValidated;
+  MvccClass mvcc_class = MvccClass::kNone;
+  /// Transaction that performed the invalidating write (0 if n/a).
+  TxId conflicting_tx = 0;
+};
+
+/// A block as delivered by the ordering service and annotated by the
+/// validators. Both committed and aborted transactions stay in the
+/// block, exactly as in Fabric: the ledger is the full history.
+struct Block {
+  uint64_t number = 0;
+  SimTime cut_time = 0;
+  BlockCutReason cut_reason = BlockCutReason::kMaxCount;
+  std::vector<Transaction> txs;
+  std::vector<TxValidationResult> results;
+
+  uint64_t ByteSize() const {
+    uint64_t bytes = 128;
+    for (const Transaction& tx : txs) bytes += tx.ByteSize();
+    return bytes;
+  }
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_LEDGER_BLOCK_H_

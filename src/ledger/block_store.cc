@@ -1,0 +1,31 @@
+#include "src/ledger/block_store.h"
+
+#include "src/common/strings.h"
+
+namespace fabricsim {
+
+Status BlockStore::Append(Block block) {
+  if (block.number != blocks_.size() + 1) {
+    return Status::FailedPrecondition(
+        StrFormat("expected block %zu, got %llu", blocks_.size() + 1,
+                  static_cast<unsigned long long>(block.number)));
+  }
+  if (block.results.size() != block.txs.size()) {
+    return Status::InvalidArgument("block results/txs size mismatch");
+  }
+  blocks_.push_back(std::move(block));
+  return Status::OK();
+}
+
+const Block* BlockStore::GetBlock(uint64_t number) const {
+  if (number == 0 || number > blocks_.size()) return nullptr;
+  return &blocks_[number - 1];
+}
+
+uint64_t BlockStore::TotalTransactions() const {
+  uint64_t n = 0;
+  for (const Block& b : blocks_) n += b.txs.size();
+  return n;
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,38 @@
+#ifndef FABRICSIM_LEDGER_BLOCK_STORE_H_
+#define FABRICSIM_LEDGER_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ledger/block.h"
+
+namespace fabricsim {
+
+/// Append-only chain of validated blocks: the distributed ledger of
+/// one peer. Block numbers must be contiguous starting at 1 (block 0
+/// is the implicit genesis/bootstrap block, which holds no
+/// user transactions).
+class BlockStore {
+ public:
+  /// Appends the next block. Fails unless block.number == height() + 1.
+  Status Append(Block block);
+
+  /// Chain height: number of the newest appended block (0 if empty).
+  uint64_t height() const { return blocks_.size(); }
+
+  /// Returns block by number (1-based). nullptr when out of range.
+  const Block* GetBlock(uint64_t number) const;
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Total transactions across all blocks (valid and failed).
+  uint64_t TotalTransactions() const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_LEDGER_BLOCK_STORE_H_

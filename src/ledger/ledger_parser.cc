@@ -1,0 +1,64 @@
+#include "src/ledger/ledger_parser.h"
+
+namespace fabricsim {
+
+std::vector<TxRecord> LedgerParser::Parse(const BlockStore& store) {
+  std::vector<TxRecord> records;
+  records.reserve(store.TotalTransactions());
+  for (const Block& block : store.blocks()) {
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      const Transaction& tx = block.txs[i];
+      const TxValidationResult& res = block.results[i];
+      TxRecord rec;
+      rec.id = tx.id;
+      rec.block_number = block.number;
+      rec.tx_index = static_cast<uint32_t>(i);
+      rec.chaincode = tx.chaincode;
+      rec.function = tx.function;
+      rec.code = res.code;
+      rec.mvcc_class = res.mvcc_class;
+      rec.conflicting_tx = res.conflicting_tx;
+      rec.read_only = tx.read_only;
+      rec.submit_time = tx.client_submit_time;
+      rec.committed_time = tx.committed_time;
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+LedgerSummary LedgerParser::Summarize(const BlockStore& store) {
+  LedgerSummary s;
+  for (const Block& block : store.blocks()) {
+    for (const TxValidationResult& res : block.results) {
+      ++s.total;
+      switch (res.code) {
+        case TxValidationCode::kValid:
+          ++s.valid;
+          break;
+        case TxValidationCode::kEndorsementPolicyFailure:
+          ++s.endorsement_policy_failures;
+          break;
+        case TxValidationCode::kMvccReadConflict:
+          if (res.mvcc_class == MvccClass::kIntraBlock) {
+            ++s.mvcc_intra_block;
+          } else {
+            ++s.mvcc_inter_block;
+          }
+          break;
+        case TxValidationCode::kPhantomReadConflict:
+          ++s.phantom_read_conflicts;
+          break;
+        case TxValidationCode::kAbortedByReordering:
+          ++s.reordering_aborts;
+          break;
+        case TxValidationCode::kAbortedNotSerializable:
+        case TxValidationCode::kNotValidated:
+          break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace fabricsim

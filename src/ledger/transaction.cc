@@ -1,0 +1,25 @@
+#include "src/ledger/transaction.h"
+
+namespace fabricsim {
+
+const char* TxValidationCodeToString(TxValidationCode code) {
+  switch (code) {
+    case TxValidationCode::kValid:
+      return "VALID";
+    case TxValidationCode::kEndorsementPolicyFailure:
+      return "ENDORSEMENT_POLICY_FAILURE";
+    case TxValidationCode::kMvccReadConflict:
+      return "MVCC_READ_CONFLICT";
+    case TxValidationCode::kPhantomReadConflict:
+      return "PHANTOM_READ_CONFLICT";
+    case TxValidationCode::kAbortedByReordering:
+      return "ABORTED_BY_REORDERING";
+    case TxValidationCode::kAbortedNotSerializable:
+      return "ABORTED_NOT_SERIALIZABLE";
+    case TxValidationCode::kNotValidated:
+      return "NOT_VALIDATED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,91 @@
+#ifndef FABRICSIM_LEDGER_TRANSACTION_H_
+#define FABRICSIM_LEDGER_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/ledger/rwset.h"
+
+namespace fabricsim {
+
+using TxId = uint64_t;
+using PeerId = int32_t;
+using OrgId = int32_t;
+
+/// Final status a transaction carries on the ledger. Mirrors Fabric's
+/// validation codes, restricted to the ones the study analyses, plus
+/// the early-abort codes introduced by the Fabric++/FabricSharp forks.
+enum class TxValidationCode : uint8_t {
+  /// Committed; the write set was applied to the world state.
+  kValid = 0,
+  /// VSCC rejected the transaction: no digest-consistent subset of
+  /// endorsements satisfies the endorsement policy (paper §3.2.1).
+  kEndorsementPolicyFailure,
+  /// A read-set version no longer matches the world state (§3.2.2).
+  kMvccReadConflict,
+  /// A range query's interval changed between endorsement and
+  /// validation (§3.2.3).
+  kPhantomReadConflict,
+  /// Fabric++ aborted the transaction in the ordering phase to break a
+  /// conflict-graph cycle.
+  kAbortedByReordering,
+  /// FabricSharp aborted the transaction before ordering because it
+  /// was not serializable against the dependency graph. Such
+  /// transactions never reach the ledger.
+  kAbortedNotSerializable,
+  /// Sentinel for transactions not yet validated.
+  kNotValidated,
+};
+
+const char* TxValidationCodeToString(TxValidationCode code);
+
+/// Sub-classification of an MVCC read conflict (paper Eq. 3 / Eq. 4).
+enum class MvccClass : uint8_t {
+  kNone = 0,
+  /// Invalidating write is an earlier transaction in the same block.
+  kIntraBlock,
+  /// Invalidating write committed in an earlier block.
+  kInterBlock,
+};
+
+/// One endorsement collected from a peer: who signed, over which
+/// rw-set digest, and whether the signature verifies.
+struct Endorsement {
+  PeerId peer_id = -1;
+  OrgId org_id = -1;
+  uint64_t rwset_digest = 0;
+  bool signature_valid = true;
+};
+
+/// A transaction envelope as submitted to the ordering service.
+struct Transaction {
+  TxId id = 0;
+  std::string chaincode;
+  std::string function;
+  std::vector<std::string> args;
+
+  /// The rw-set the client attached (taken from the endorsement
+  /// majority group).
+  ReadWriteSet rwset;
+  std::vector<Endorsement> endorsements;
+
+  /// True when the chaincode function performed no writes.
+  bool read_only = false;
+
+  /// Timestamps along the E-O-V pipeline, for latency metrics.
+  SimTime client_submit_time = 0;   ///< proposal sent to endorsers
+  SimTime endorsed_time = 0;        ///< all endorsements collected
+  SimTime ordered_time = 0;         ///< placed into a block
+  SimTime committed_time = 0;       ///< validated & logged at the peer
+
+  /// Envelope payload size estimate (rw-set + endorsements).
+  uint64_t ByteSize() const {
+    return rwset.ByteSize() + 96 * endorsements.size() + 64;
+  }
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_LEDGER_TRANSACTION_H_

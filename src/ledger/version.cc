@@ -1,0 +1,12 @@
+#include "src/ledger/version.h"
+
+#include "src/common/strings.h"
+
+namespace fabricsim {
+
+std::string Version::ToString() const {
+  return StrFormat("v%llu.%u", static_cast<unsigned long long>(block_num),
+                   tx_num);
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,36 @@
+#ifndef FABRICSIM_LEDGER_VERSION_H_
+#define FABRICSIM_LEDGER_VERSION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fabricsim {
+
+/// A key version in the world state, exactly as Fabric models it:
+/// the (block number, transaction number) pair of the transaction that
+/// last wrote the key. Every committed write bumps the version.
+struct Version {
+  uint64_t block_num = 0;
+  uint32_t tx_num = 0;
+
+  friend bool operator==(const Version& a, const Version& b) {
+    return a.block_num == b.block_num && a.tx_num == b.tx_num;
+  }
+  friend bool operator!=(const Version& a, const Version& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Version& a, const Version& b) {
+    if (a.block_num != b.block_num) return a.block_num < b.block_num;
+    return a.tx_num < b.tx_num;
+  }
+
+  std::string ToString() const;
+};
+
+/// Version assigned to keys created during world-state bootstrap
+/// (before the first block).
+inline constexpr Version kBootstrapVersion{0, 0};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_LEDGER_VERSION_H_

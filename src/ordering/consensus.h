@@ -1,0 +1,36 @@
+#ifndef FABRICSIM_ORDERING_CONSENSUS_H_
+#define FABRICSIM_ORDERING_CONSENSUS_H_
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace fabricsim {
+
+/// Latency model of the replicated ordering service (the paper uses
+/// Kafka; Fabric 1.4 also ships Raft). Consensus is pipelined, so it
+/// adds delivery delay without occupying the orderer's serial
+/// resources: one produce/consume round trip to the cluster plus
+/// jitter, growing mildly with the replica count.
+class ConsensusModel {
+ public:
+  ConsensusModel(int num_orderers, SimTime base_latency)
+      : num_orderers_(num_orderers < 1 ? 1 : num_orderers),
+        base_latency_(base_latency) {}
+
+  /// Per-block agreement latency sample.
+  SimTime SampleLatency(Rng& rng) const {
+    double extra = 0.15 * static_cast<double>(num_orderers_ - 1);
+    double base = static_cast<double>(base_latency_) * (1.0 + extra);
+    return static_cast<SimTime>(rng.UniformRange(base * 0.8, base * 1.2));
+  }
+
+  int num_orderers() const { return num_orderers_; }
+
+ private:
+  int num_orderers_;
+  SimTime base_latency_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_ORDERING_CONSENSUS_H_

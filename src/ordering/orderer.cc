@@ -1,0 +1,120 @@
+#include "src/ordering/orderer.h"
+
+#include <utility>
+
+namespace fabricsim {
+
+Orderer::Orderer(Params params)
+    : node_(params.node),
+      env_(params.env),
+      net_(params.net),
+      cutter_(params.cutter),
+      block_timeout_(params.block_timeout),
+      timing_(params.timing),
+      consensus_(params.consensus),
+      rng_(std::move(params.rng)),
+      streaming_(params.streaming),
+      processor_(params.processor),
+      peers_(std::move(params.peers)),
+      on_block_cut_(std::move(params.on_block_cut)),
+      on_early_abort_(std::move(params.on_early_abort)),
+      queue_("orderer") {}
+
+void Orderer::SubmitTransaction(Transaction tx) {
+  ++txs_received_;
+  auto shared_tx = std::make_shared<Transaction>(std::move(tx));
+  queue_.Submit(
+      *env_, [this]() -> SimTime { return timing_.orderer_per_tx_cost; },
+      [this, shared_tx]() {
+        TxValidationCode reject_code = TxValidationCode::kNotValidated;
+        if (processor_ != nullptr &&
+            !processor_->Admit(*shared_tx, &reject_code)) {
+          ++txs_early_aborted_;
+          if (on_early_abort_) on_early_abort_(*shared_tx, reject_code);
+          return;
+        }
+        HandleAdmitted(std::move(*shared_tx));
+      });
+}
+
+void Orderer::HandleAdmitted(Transaction tx) {
+  if (streaming_) {
+    // Streamchain: no batching — every transaction streams through as
+    // its own unit.
+    std::vector<Transaction> single;
+    single.push_back(std::move(tx));
+    CutBlock(std::move(single), BlockCutReason::kStreaming);
+    return;
+  }
+  uint32_t max_count = cutter_.config().max_count;
+  for (std::vector<Transaction>& batch : cutter_.AddTransaction(std::move(tx))) {
+    BlockCutReason reason = batch.size() >= max_count
+                                ? BlockCutReason::kMaxCount
+                                : BlockCutReason::kMaxBytes;
+    ++timeout_generation_;  // cancel any armed timeout
+    timeout_armed_ = false;
+    CutBlock(std::move(batch), reason);
+  }
+  if (cutter_.HasPending() && !timeout_armed_) ArmTimeout();
+}
+
+void Orderer::ArmTimeout() {
+  timeout_armed_ = true;
+  uint64_t generation = timeout_generation_;
+  env_->Schedule(block_timeout_, [this, generation]() {
+    if (generation != timeout_generation_) return;  // cancelled by a cut
+    timeout_armed_ = false;
+    ++timeout_generation_;
+    if (cutter_.HasPending()) {
+      CutBlock(cutter_.CutPending(), BlockCutReason::kTimeout);
+    }
+  });
+}
+
+void Orderer::CutBlock(std::vector<Transaction> txs, BlockCutReason reason) {
+  auto block = std::make_shared<Block>();
+  block->number = next_block_number_++;
+  block->cut_time = env_->now();
+  block->cut_reason = reason;
+  block->txs = std::move(txs);
+  for (Transaction& tx : block->txs) tx.ordered_time = env_->now();
+  block->results.assign(block->txs.size(), TxValidationResult{});
+
+  SimTime processor_cost = 0;
+  if (processor_ != nullptr) {
+    std::vector<BlockProcessor::EarlyAbort> early_aborted;
+    processor_cost = processor_->OnBlockCut(block.get(), &early_aborted);
+    txs_early_aborted_ += early_aborted.size();
+    if (on_early_abort_) {
+      for (const BlockProcessor::EarlyAbort& abort : early_aborted) {
+        on_early_abort_(abort.first, abort.second);
+      }
+    }
+    if (block->txs.empty()) {
+      // Everything was aborted at the cut; nothing to deliver.
+      --next_block_number_;
+      return;
+    }
+  }
+
+  if (on_block_cut_) on_block_cut_(block);
+
+  // Block assembly, signing and per-peer egress occupy the orderer's
+  // serial queue; consensus agreement is pipelined on top.
+  SimTime assembly = timing_.orderer_per_block_cost + processor_cost +
+                     static_cast<SimTime>(peers_.size()) *
+                         timing_.orderer_per_msg_cost;
+  SimTime consensus_latency = consensus_.SampleLatency(rng_);
+  queue_.Submit(
+      *env_, [assembly]() -> SimTime { return assembly; },
+      [this, block, consensus_latency]() {
+        env_->Schedule(consensus_latency, [this, block]() {
+          for (const Params::PeerEndpoint& peer : peers_) {
+            net_->Send(*env_, node_, peer.node, block->ByteSize(),
+                       [deliver = peer.deliver, block]() { deliver(block); });
+          }
+        });
+      });
+}
+
+}  // namespace fabricsim

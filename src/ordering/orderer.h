@@ -1,0 +1,127 @@
+#ifndef FABRICSIM_ORDERING_ORDERER_H_
+#define FABRICSIM_ORDERING_ORDERER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fabric/network_config.h"
+#include "src/ledger/block.h"
+#include "src/ordering/block_cutter.h"
+#include "src/ordering/consensus.h"
+#include "src/sim/network.h"
+#include "src/sim/work_queue.h"
+
+namespace fabricsim {
+
+/// Variant hook inside the ordering service. Stock Fabric 1.4 uses the
+/// default (pass-through) behaviour; Fabric++ plugs in reordering at
+/// block cut, FabricSharp plugs in serializability admission control.
+class BlockProcessor {
+ public:
+  virtual ~BlockProcessor() = default;
+
+  /// Called when a transaction reaches the orderer, before it enters
+  /// the cutter. Return false to abort it immediately (FabricSharp's
+  /// early abort); set *reject_code accordingly.
+  virtual bool Admit(const Transaction& tx, TxValidationCode* reject_code) {
+    (void)tx;
+    (void)reject_code;
+    return true;
+  }
+
+  /// A transaction dropped during the ordering phase, tagged with the
+  /// abort reason (kAbortedByReordering for Fabric++ cycle aborts,
+  /// kAbortedNotSerializable for FabricSharp).
+  using EarlyAbort = std::pair<Transaction, TxValidationCode>;
+
+  /// Called once the block content is fixed, before delivery. May
+  /// reorder block->txs, pre-mark block->results (size must match
+  /// txs), and remove transactions from the block entirely by moving
+  /// them into *early_aborted — both Fabric++ and FabricSharp abort in
+  /// the ordering phase, so such transactions never reach the ledger.
+  /// Returns extra ordering service time this processing costs.
+  virtual SimTime OnBlockCut(Block* block,
+                             std::vector<EarlyAbort>* early_aborted) {
+    (void)block;
+    (void)early_aborted;
+    return 0;
+  }
+};
+
+/// The ordering service (flow steps 4–5), modelled as its Kafka/Raft
+/// leader: ingress per-transaction handling, block cutting by
+/// size/bytes/timeout, consensus latency, and per-peer delivery over
+/// the network. Ingress and block assembly/egress share one serial
+/// work queue, which is what saturates under Streamchain's
+/// one-transaction-per-block streaming.
+class Orderer {
+ public:
+  struct Params {
+    NodeId node = 0;
+    Environment* env = nullptr;
+    Network* net = nullptr;
+    BlockCutter::Config cutter;
+    SimTime block_timeout = 2 * kSecond;
+    TimingConfig timing;
+    ConsensusModel consensus{3, 4000};
+    Rng rng{1, 1};
+    /// When true, every transaction is cut into its own block
+    /// immediately (Streamchain).
+    bool streaming = false;
+    BlockProcessor* processor = nullptr;  // may be null
+    /// Delivery targets: node ids + block handlers of all peers.
+    struct PeerEndpoint {
+      NodeId node;
+      std::function<void(std::shared_ptr<const Block>)> deliver;
+    };
+    std::vector<PeerEndpoint> peers;
+    /// Invoked when the canonical block is cut (used by the harness to
+    /// retain block ownership for the global ledger).
+    std::function<void(std::shared_ptr<Block>)> on_block_cut;
+    /// Invoked when a transaction is early-aborted at the orderer.
+    std::function<void(const Transaction&, TxValidationCode)> on_early_abort;
+  };
+
+  explicit Orderer(Params params);
+
+  /// Handles a transaction submitted by a client (already delivered
+  /// through the network).
+  void SubmitTransaction(Transaction tx);
+
+  uint64_t blocks_cut() const { return next_block_number_ - 1; }
+  uint64_t txs_received() const { return txs_received_; }
+  uint64_t txs_early_aborted() const { return txs_early_aborted_; }
+  const WorkQueue& queue() const { return queue_; }
+
+ private:
+  void HandleAdmitted(Transaction tx);
+  void CutBlock(std::vector<Transaction> txs, BlockCutReason reason);
+  void ArmTimeout();
+
+  NodeId node_;
+  Environment* env_;
+  Network* net_;
+  BlockCutter cutter_;
+  SimTime block_timeout_;
+  TimingConfig timing_;
+  ConsensusModel consensus_;
+  Rng rng_;
+  bool streaming_;
+  BlockProcessor* processor_;
+  std::vector<Params::PeerEndpoint> peers_;
+  std::function<void(std::shared_ptr<Block>)> on_block_cut_;
+  std::function<void(const Transaction&, TxValidationCode)> on_early_abort_;
+
+  WorkQueue queue_;
+  uint64_t next_block_number_ = 1;
+  uint64_t txs_received_ = 0;
+  uint64_t txs_early_aborted_ = 0;
+  uint64_t timeout_generation_ = 0;
+  bool timeout_armed_ = false;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_ORDERING_ORDERER_H_

@@ -1,0 +1,22 @@
+#include "src/peer/committer.h"
+
+namespace fabricsim {
+
+Status CommitStateUpdates(
+    StateDatabase& db,
+    const std::vector<std::pair<WriteItem, Version>>& updates) {
+  for (const auto& [write, version] : updates) {
+    FABRICSIM_RETURN_NOT_OK(db.ApplyWrite(write, version));
+  }
+  return Status::OK();
+}
+
+Status ApplyBootstrap(StateDatabase& db,
+                      const std::vector<WriteItem>& writes) {
+  for (const WriteItem& write : writes) {
+    FABRICSIM_RETURN_NOT_OK(db.ApplyWrite(write, kBootstrapVersion));
+  }
+  return Status::OK();
+}
+
+}  // namespace fabricsim

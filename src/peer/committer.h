@@ -1,0 +1,27 @@
+#ifndef FABRICSIM_PEER_COMMITTER_H_
+#define FABRICSIM_PEER_COMMITTER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ledger/rwset.h"
+#include "src/ledger/version.h"
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+
+/// Applies the write sets of a validated block to the world state
+/// (transaction flow step 7). Updates are applied in block order, so
+/// later writes to the same key win.
+Status CommitStateUpdates(
+    StateDatabase& db,
+    const std::vector<std::pair<WriteItem, Version>>& updates);
+
+/// Applies bootstrap writes at version (0,0) — the initial world-state
+/// population each chaincode defines.
+Status ApplyBootstrap(StateDatabase& db, const std::vector<WriteItem>& writes);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_PEER_COMMITTER_H_

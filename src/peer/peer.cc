@@ -1,0 +1,175 @@
+#include "src/peer/peer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fabricsim {
+
+Peer::Peer(Params params)
+    : id_(params.id),
+      org_(params.org),
+      node_(params.node),
+      env_(params.env),
+      net_(params.net),
+      chaincode_(params.chaincode),
+      validator_(std::move(params.policy)),
+      db_profile_(params.db_profile),
+      timing_(params.timing),
+      variant_(params.variant),
+      validation_cost_factor_(params.validation_cost_factor),
+      snapshot_interval_(params.snapshot_interval),
+      virtual_block_group_(params.virtual_block_group == 0
+                               ? 1
+                               : params.virtual_block_group),
+      rng_(std::move(params.rng)),
+      validation_cache_(params.validation_cache),
+      on_commit_(std::move(params.on_commit)),
+      state_(MakeMemoryStateDb()),
+      endorse_view_(state_.get()),
+      endorse_queue_("endorse"),
+      validate_queue_("validate") {
+  if (variant_ == FabricVariant::kFabricSharp && snapshot_interval_ > 0) {
+    // FabricSharp parallelizes execution and validation with block
+    // snapshots: endorsers run against a separate, periodically
+    // refreshed view, which lags behind the committed state.
+    endorse_snapshot_ = MakeMemoryStateDb();
+    endorse_view_ = endorse_snapshot_.get();
+  }
+}
+
+Status Peer::Bootstrap(const std::vector<WriteItem>& writes) {
+  FABRICSIM_RETURN_NOT_OK(ApplyBootstrap(*state_, writes));
+  if (endorse_snapshot_ != nullptr) {
+    FABRICSIM_RETURN_NOT_OK(ApplyBootstrap(*endorse_snapshot_, writes));
+  }
+  return Status::OK();
+}
+
+void Peer::HandleProposal(ProposalRequest request) {
+  auto result = std::make_shared<EndorsementResult>();
+  auto req = std::make_shared<ProposalRequest>(std::move(request));
+  endorse_queue_.Submit(
+      *env_,
+      [this, result, req]() -> SimTime {
+        // Chaincode simulation against the endorsement view *as of
+        // now* — the staleness of this view is the root of both
+        // endorsement mismatches and MVCC conflicts.
+        *result = SimulateProposal(*endorse_view_, *chaincode_,
+                                   req->invocation,
+                                   db_profile_.supports_rich_queries);
+        SimTime service = timing_.proposal_overhead +
+                          db_profile_.EndorseCost(result->rwset) +
+                          timing_.endorsement_sign_cost;
+        return static_cast<SimTime>(static_cast<double>(service) *
+                                    JitterFactor());
+      },
+      [this, result, req]() {
+        ProposalResponse response;
+        response.tx_id = req->tx_id;
+        response.app_ok = result->app_status.ok();
+        response.app_error = result->app_status.message();
+        response.rwset = std::move(result->rwset);
+        response.endorsement = Endorsement{
+            id_, org_, response.rwset.Digest(), /*signature_valid=*/true};
+        req->reply(response);
+      });
+}
+
+void Peer::HandleBlock(std::shared_ptr<const Block> block) {
+  reorder_buffer_[block->number] = std::move(block);
+  TryProcessBuffered();
+}
+
+void Peer::TryProcessBuffered() {
+  while (true) {
+    auto it = reorder_buffer_.find(next_to_enqueue_);
+    if (it == reorder_buffer_.end()) return;
+    std::shared_ptr<const Block> block = std::move(it->second);
+    reorder_buffer_.erase(it);
+    ++next_to_enqueue_;
+    ProcessBlock(std::move(block));
+  }
+}
+
+double Peer::JitterFactor() {
+  double j = timing_.peer_service_jitter;
+  if (j <= 0) return 1.0;
+  return rng_.UniformRange(1.0 - j, 1.0 + j);
+}
+
+SimTime Peer::ValidationServiceTime(const Block& block,
+                                    const ValidationOutcome& outcome,
+                                    bool charge_fixed_costs) const {
+  SimTime vscc = 0;
+  SimTime mvcc = 0;
+  for (size_t i = 0; i < block.txs.size(); ++i) {
+    if (outcome.results[i].code == TxValidationCode::kAbortedByReordering) {
+      continue;  // pre-aborted in ordering; committer skips it
+    }
+    const Transaction& tx = block.txs[i];
+    vscc += validator_.policy().VsccParallelCost(tx.endorsements.size());
+    mvcc += validator_.policy().VsccSerialCost() +
+            db_profile_.ValidateCost(tx.rwset);
+  }
+  int parallelism = std::max(timing_.vscc_parallelism, 1);
+  // Streamchain's pipelining/parallel validation speeds up the
+  // CPU-bound checks; the storage costs are only reduced by the
+  // storage medium (RAM disk), which the profile already reflects.
+  SimTime service = static_cast<SimTime>(
+      static_cast<double>(vscc / parallelism + mvcc) *
+      validation_cost_factor_);
+  service += static_cast<SimTime>(outcome.state_updates.size()) *
+             db_profile_.commit_per_write;
+  if (charge_fixed_costs) {
+    // With a virtual block boundary, the state-DB batch and the ledger
+    // fsync are paid once per group of streamed blocks.
+    service += db_profile_.commit_base + timing_.ledger_append_cost;
+  }
+  return service;
+}
+
+void Peer::ProcessBlock(std::shared_ptr<const Block> block) {
+  auto outcome = std::make_shared<std::shared_ptr<const ValidationOutcome>>();
+  validate_queue_.Submit(
+      *env_,
+      [this, outcome, block]() -> SimTime {
+        // All replicas compute identical outcomes (deterministic
+        // validation over identical state); share the computation.
+        if (validation_cache_ != nullptr) {
+          *outcome = validation_cache_->GetOrCompute(
+              block->number,
+              [&] { return validator_.ValidateBlock(*state_, *block); });
+        } else {
+          *outcome = std::make_shared<const ValidationOutcome>(
+              validator_.ValidateBlock(*state_, *block));
+        }
+        bool charge_fixed =
+            virtual_block_group_ <= 1 ||
+            block->number % virtual_block_group_ == 0;
+        return static_cast<SimTime>(
+            static_cast<double>(
+                ValidationServiceTime(*block, **outcome, charge_fixed)) *
+            JitterFactor());
+      },
+      [this, outcome, block]() {
+        CommitStateUpdates(*state_, (*outcome)->state_updates);
+        committed_height_ = block->number;
+        if (endorse_snapshot_ != nullptr) {
+          // Refresh the endorsement snapshot at the next snapshot
+          // boundary; application order across blocks is preserved by
+          // keeping the apply time monotonic.
+          SimTime lag = static_cast<SimTime>(rng_.UniformRange(
+              0.0, static_cast<double>(snapshot_interval_)));
+          SimTime apply_at =
+              std::max(env_->now() + lag, last_snapshot_apply_);
+          last_snapshot_apply_ = apply_at;
+          auto shared = *outcome;
+          env_->ScheduleAt(apply_at, [this, shared]() {
+            CommitStateUpdates(*endorse_snapshot_, shared->state_updates);
+          });
+        }
+        if (on_commit_) on_commit_(block->number, **outcome);
+      });
+}
+
+}  // namespace fabricsim

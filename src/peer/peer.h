@@ -1,0 +1,150 @@
+#ifndef FABRICSIM_PEER_PEER_H_
+#define FABRICSIM_PEER_PEER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/chaincode/chaincode.h"
+#include "src/common/rng.h"
+#include "src/fabric/network_config.h"
+#include "src/peer/committer.h"
+#include "src/peer/endorser.h"
+#include "src/peer/validator.h"
+#include "src/sim/network.h"
+#include "src/sim/work_queue.h"
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+
+/// A proposal sent from a client to an endorsing peer (flow step 1).
+/// `reply` is invoked by the peer when the endorsement response is
+/// ready; the closure the client installed routes it back over the
+/// network.
+struct ProposalRequest {
+  TxId tx_id = 0;
+  Invocation invocation;
+  std::function<void(const struct ProposalResponse&)> reply;
+};
+
+/// The endorsement response (flow step 2).
+struct ProposalResponse {
+  TxId tx_id = 0;
+  Endorsement endorsement;
+  ReadWriteSet rwset;
+  bool app_ok = true;
+  std::string app_error;
+};
+
+/// A peer node: endorser + validator + committer over its own
+/// world-state replica. Two serial work queues model the two
+/// independent execution resources of a real peer:
+///  * the chaincode/endorsement path (chaincode container + endorser
+///    gRPC handlers), and
+///  * the validation/commit pipeline (VSCC, MVCC, state DB commit),
+///    which processes blocks strictly in order.
+class Peer {
+ public:
+  struct Params {
+    PeerId id = 0;
+    OrgId org = 0;
+    NodeId node = 0;
+    Environment* env = nullptr;
+    Network* net = nullptr;
+    Chaincode* chaincode = nullptr;
+    EndorsementPolicy policy;
+    DbLatencyProfile db_profile;
+    TimingConfig timing;
+    FabricVariant variant = FabricVariant::kFabric14;
+    /// Multiplier on validation service time (<1 for Streamchain's
+    /// pipelined/parallel validation).
+    double validation_cost_factor = 1.0;
+    /// FabricSharp: endorsement snapshot refresh interval.
+    SimTime snapshot_interval = 0;
+    /// Streamchain virtual block boundary: per-block fixed commit
+    /// costs (state-DB batch, ledger fsync) are charged once per this
+    /// many blocks (group commit). 1 = every block.
+    uint32_t virtual_block_group = 1;
+    Rng rng{1, 1};
+    /// Shared validation-outcome memo (see ValidationOutcomeCache).
+    /// Optional; nullptr makes every peer validate independently.
+    ValidationOutcomeCache* validation_cache = nullptr;
+    /// Invoked when a block finishes committing on this peer (used by
+    /// the reference peer to record the canonical ledger).
+    std::function<void(uint64_t block_number,
+                       const ValidationOutcome& outcome)>
+        on_commit;
+  };
+
+  explicit Peer(Params params);
+
+  /// Populates the world state before the run (version (0,0)).
+  Status Bootstrap(const std::vector<WriteItem>& writes);
+
+  /// Handles an endorsement proposal (already delivered through the
+  /// network). Queues chaincode execution on the endorsement queue.
+  void HandleProposal(ProposalRequest request);
+
+  /// Handles a block delivered by the ordering service. Blocks may
+  /// arrive out of order; the peer buffers and validates sequentially.
+  void HandleBlock(std::shared_ptr<const Block> block);
+
+  PeerId id() const { return id_; }
+  OrgId org() const { return org_; }
+  NodeId node() const { return node_; }
+
+  /// Committed world state (validation view).
+  const StateDatabase& state() const { return *state_; }
+
+  /// World state the endorser executes against. Same object as
+  /// state() except under FabricSharp's snapshot model.
+  const StateDatabase& endorse_view() const { return *endorse_view_; }
+
+  uint64_t committed_height() const { return committed_height_; }
+
+  const WorkQueue& endorse_queue() const { return endorse_queue_; }
+  const WorkQueue& validate_queue() const { return validate_queue_; }
+
+ private:
+  void TryProcessBuffered();
+  void ProcessBlock(std::shared_ptr<const Block> block);
+  SimTime ValidationServiceTime(const Block& block,
+                                const ValidationOutcome& outcome,
+                                bool charge_fixed_costs) const;
+  /// Samples this peer's service-time jitter factor.
+  double JitterFactor();
+
+  PeerId id_;
+  OrgId org_;
+  NodeId node_;
+  Environment* env_;
+  Network* net_;
+  Chaincode* chaincode_;
+  Validator validator_;
+  DbLatencyProfile db_profile_;
+  TimingConfig timing_;
+  FabricVariant variant_;
+  double validation_cost_factor_;
+  SimTime snapshot_interval_;
+  uint32_t virtual_block_group_;
+  Rng rng_;
+  ValidationOutcomeCache* validation_cache_;
+  std::function<void(uint64_t, const ValidationOutcome&)> on_commit_;
+
+  std::unique_ptr<StateDatabase> state_;
+  std::unique_ptr<StateDatabase> endorse_snapshot_;  // FabricSharp only
+  StateDatabase* endorse_view_;
+
+  WorkQueue endorse_queue_;
+  WorkQueue validate_queue_;
+
+  uint64_t committed_height_ = 0;
+  uint64_t next_to_enqueue_ = 1;
+  std::map<uint64_t, std::shared_ptr<const Block>> reorder_buffer_;
+  SimTime last_snapshot_apply_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_PEER_PEER_H_

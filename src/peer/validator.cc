@@ -1,0 +1,181 @@
+#include "src/peer/validator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fabricsim {
+
+Validator::Validator(EndorsementPolicy policy) : policy_(std::move(policy)) {}
+
+bool EndorsementSatisfiesPolicy(const Transaction& tx,
+                                const EndorsementPolicy& policy) {
+  // Only endorsements whose signature verifies *over the rw-set the
+  // client attached* count towards the policy. Endorsers that
+  // simulated on a divergent world state produced a different rw-set,
+  // so their signatures do not match the payload — the mechanism of
+  // the paper's endorsement policy failure (Eq. 1).
+  uint64_t attached_digest = tx.rwset.Digest();
+  std::set<OrgId> matching_orgs;
+  for (const Endorsement& e : tx.endorsements) {
+    if (e.signature_valid && e.rwset_digest == attached_digest) {
+      matching_orgs.insert(e.org_id);
+    }
+  }
+  return policy.Evaluate(matching_orgs);
+}
+
+bool Validator::CheckVscc(const Transaction& tx) const {
+  return EndorsementSatisfiesPolicy(tx, policy_);
+}
+
+TxValidationResult Validator::ValidateTx(const StateDatabase& db,
+                                         const Overlay& overlay,
+                                         const Block& block,
+                                         const Transaction& tx) const {
+  TxValidationResult result;
+
+  // --- VSCC: endorsement policy --------------------------------------
+  if (!CheckVscc(tx)) {
+    result.code = TxValidationCode::kEndorsementPolicyFailure;
+    return result;
+  }
+
+  // Resolves a key against overlay-then-db; returns (exists, version,
+  // in_overlay, writer_index).
+  struct Resolved {
+    bool exists = false;
+    Version version;
+    bool from_overlay = false;
+    uint32_t writer_index = 0;
+  };
+  auto resolve = [&](const std::string& key) {
+    Resolved r;
+    auto it = overlay.find(key);
+    if (it != overlay.end()) {
+      r.from_overlay = true;
+      r.writer_index = it->second.writer_index;
+      r.exists = !it->second.deleted;
+      r.version = it->second.version;
+      return r;
+    }
+    std::optional<VersionedValue> vv = db.Get(key);
+    if (vv.has_value()) {
+      r.exists = true;
+      r.version = vv->version;
+    }
+    return r;
+  };
+
+  auto fail_mvcc = [&](const Resolved& current) {
+    result.code = TxValidationCode::kMvccReadConflict;
+    if (current.from_overlay) {
+      result.mvcc_class = MvccClass::kIntraBlock;
+      result.conflicting_tx = block.txs[current.writer_index].id;
+    } else {
+      result.mvcc_class = MvccClass::kInterBlock;
+    }
+  };
+
+  // --- MVCC: point reads (paper Eq. 2) --------------------------------
+  for (const ReadItem& read : tx.rwset.reads) {
+    Resolved current = resolve(read.key);
+    if (read.found) {
+      if (!current.exists || current.version != read.version) {
+        fail_mvcc(current);
+        return result;
+      }
+    } else if (current.exists) {
+      // The endorser saw no key; now one exists.
+      fail_mvcc(current);
+      return result;
+    }
+  }
+
+  // --- Phantom reads: re-execute range queries (paper Eq. 5) ----------
+  for (const RangeQueryInfo& rq : tx.rwset.range_queries) {
+    if (!rq.phantom_check) continue;  // rich queries are not re-checked
+    // Merge the database range with the block-local overlay.
+    std::map<std::string, Version> current_range;
+    for (const StateEntry& e : db.GetRange(rq.start_key, rq.end_key)) {
+      current_range[e.key] = e.vv.version;
+    }
+    bool overlay_dirty = false;
+    for (const auto& [key, entry] : overlay) {
+      if (key < rq.start_key) continue;
+      if (!rq.end_key.empty() && key >= rq.end_key) continue;
+      if (entry.deleted) {
+        overlay_dirty |= current_range.erase(key) > 0;
+      } else {
+        current_range[key] = entry.version;
+        overlay_dirty = true;
+      }
+    }
+    (void)overlay_dirty;
+    bool mismatch = current_range.size() != rq.reads.size();
+    if (!mismatch) {
+      for (const ReadItem& read : rq.reads) {
+        auto it = current_range.find(read.key);
+        if (it == current_range.end() || it->second != read.version) {
+          mismatch = true;
+          break;
+        }
+      }
+    }
+    if (mismatch) {
+      result.code = TxValidationCode::kPhantomReadConflict;
+      return result;
+    }
+  }
+
+  result.code = TxValidationCode::kValid;
+  return result;
+}
+
+std::shared_ptr<const ValidationOutcome> ValidationOutcomeCache::GetOrCompute(
+    uint64_t block_number, const std::function<ValidationOutcome()>& compute) {
+  auto it = entries_.find(block_number);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.outcome = std::make_shared<const ValidationOutcome>(compute());
+    entry.remaining = consumers_;
+    it = entries_.emplace(block_number, std::move(entry)).first;
+  }
+  std::shared_ptr<const ValidationOutcome> outcome = it->second.outcome;
+  if (--it->second.remaining <= 0) entries_.erase(it);
+  return outcome;
+}
+
+ValidationOutcome Validator::ValidateBlock(const StateDatabase& db,
+                                           const Block& block) const {
+  ValidationOutcome outcome;
+  outcome.results.reserve(block.txs.size());
+  Overlay overlay;
+
+  for (uint32_t i = 0; i < block.txs.size(); ++i) {
+    const Transaction& tx = block.txs[i];
+
+    // Transactions pre-aborted by the ordering phase (Fabric++ cycle
+    // removal) arrive flagged in the block metadata; the committer
+    // skips them without VSCC/MVCC work.
+    if (i < block.results.size() &&
+        block.results[i].code == TxValidationCode::kAbortedByReordering) {
+      outcome.results.push_back(block.results[i]);
+      continue;
+    }
+
+    TxValidationResult result = ValidateTx(db, overlay, block, tx);
+    if (result.code == TxValidationCode::kValid) {
+      ++outcome.valid_count;
+      Version version{block.number, i};
+      for (const WriteItem& write : tx.rwset.writes) {
+        overlay[write.key] = OverlayEntry{version, write.is_delete, i};
+        outcome.state_updates.emplace_back(write, version);
+      }
+    }
+    outcome.results.push_back(result);
+  }
+  return outcome;
+}
+
+}  // namespace fabricsim

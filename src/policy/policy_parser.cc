@@ -1,0 +1,100 @@
+#include "src/policy/policy_parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace fabricsim {
+namespace {
+
+/// Recursive-descent parser over the policy grammar.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<EndorsementPolicy> Parse() {
+    Result<EndorsementPolicy> policy = ParsePolicy();
+    if (!policy.ok()) return policy;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters in policy at " +
+                                     std::to_string(pos_));
+    }
+    return policy;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<int> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected integer at position " +
+                                     std::to_string(start));
+    }
+    return std::stoi(text_.substr(start, pos_ - start));
+  }
+
+  Result<EndorsementPolicy> ParsePolicy() {
+    SkipSpace();
+    if (Consume("Org")) {
+      Result<int> org = ParseInt();
+      if (!org.ok()) return org.status();
+      return EndorsementPolicy::SignedBy(org.value());
+    }
+    Result<int> n = ParseInt();
+    if (!n.ok()) return n.status();
+    if (!Consume("-of")) {
+      return Status::InvalidArgument("expected '-of' at position " +
+                                     std::to_string(pos_));
+    }
+    if (!Consume("[")) {
+      return Status::InvalidArgument("expected '[' at position " +
+                                     std::to_string(pos_));
+    }
+    std::vector<EndorsementPolicy> subs;
+    for (;;) {
+      Result<EndorsementPolicy> sub = ParsePolicy();
+      if (!sub.ok()) return sub;
+      subs.push_back(std::move(sub).value());
+      if (Consume(",")) continue;
+      if (Consume("]")) break;
+      return Status::InvalidArgument("expected ',' or ']' at position " +
+                                     std::to_string(pos_));
+    }
+    if (n.value() <= 0 || n.value() > static_cast<int>(subs.size())) {
+      return Status::InvalidArgument("n-of out of range: n=" +
+                                     std::to_string(n.value()));
+    }
+    return EndorsementPolicy::NOutOf(n.value(), std::move(subs));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<EndorsementPolicy> PolicyParser::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,25 @@
+#ifndef FABRICSIM_POLICY_POLICY_PARSER_H_
+#define FABRICSIM_POLICY_POLICY_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/policy/endorsement_policy.h"
+
+namespace fabricsim {
+
+/// Parses the textual policy grammar used throughout this repo:
+///
+///   policy := "Org" INT
+///           | INT "-of" "[" policy ("," policy)* "]"
+///
+/// Examples: "Org0", "4-of[Org0,Org1,Org2,Org3]",
+/// "2-of[1-of[Org0],1-of[Org1,Org2,Org3]]". Whitespace is ignored.
+class PolicyParser {
+ public:
+  static Result<EndorsementPolicy> Parse(const std::string& text);
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_POLICY_POLICY_PARSER_H_

@@ -1,0 +1,59 @@
+#include "src/policy/policy_presets.h"
+
+#include <vector>
+
+namespace fabricsim {
+
+const char* PolicyPresetToString(PolicyPreset preset) {
+  switch (preset) {
+    case PolicyPreset::kP0AllOrgs:
+      return "P0";
+    case PolicyPreset::kP1OrgZeroPlusAny:
+      return "P1";
+    case PolicyPreset::kP2OneFromEachHalf:
+      return "P2";
+    case PolicyPreset::kP3Quorum:
+      return "P3";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<EndorsementPolicy> OrgLeaves(int from, int to) {
+  std::vector<EndorsementPolicy> leaves;
+  for (int org = from; org < to; ++org) {
+    leaves.push_back(EndorsementPolicy::SignedBy(org));
+  }
+  return leaves;
+}
+
+}  // namespace
+
+EndorsementPolicy MakePolicy(PolicyPreset preset, int num_orgs) {
+  if (num_orgs < 2) num_orgs = 2;
+  switch (preset) {
+    case PolicyPreset::kP0AllOrgs:
+      return EndorsementPolicy::NOutOf(num_orgs, OrgLeaves(0, num_orgs));
+    case PolicyPreset::kP1OrgZeroPlusAny: {
+      std::vector<EndorsementPolicy> subs;
+      subs.push_back(EndorsementPolicy::SignedBy(0));
+      subs.push_back(EndorsementPolicy::NOutOf(1, OrgLeaves(1, num_orgs)));
+      return EndorsementPolicy::NOutOf(2, std::move(subs));
+    }
+    case PolicyPreset::kP2OneFromEachHalf: {
+      int half = num_orgs / 2;
+      if (half == 0) half = 1;
+      std::vector<EndorsementPolicy> subs;
+      subs.push_back(EndorsementPolicy::NOutOf(1, OrgLeaves(0, half)));
+      subs.push_back(EndorsementPolicy::NOutOf(1, OrgLeaves(half, num_orgs)));
+      return EndorsementPolicy::NOutOf(2, std::move(subs));
+    }
+    case PolicyPreset::kP3Quorum:
+      return EndorsementPolicy::NOutOf(num_orgs / 2 + 1,
+                                       OrgLeaves(0, num_orgs));
+  }
+  return EndorsementPolicy::NOutOf(num_orgs, OrgLeaves(0, num_orgs));
+}
+
+}  // namespace fabricsim

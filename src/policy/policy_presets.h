@@ -1,0 +1,32 @@
+#ifndef FABRICSIM_POLICY_POLICY_PRESETS_H_
+#define FABRICSIM_POLICY_POLICY_PRESETS_H_
+
+#include <string>
+
+#include "src/policy/endorsement_policy.h"
+
+namespace fabricsim {
+
+/// The endorsement policy presets of the paper's Table 5, instantiated
+/// for `num_orgs` organizations (Org0..Org{N-1}).
+enum class PolicyPreset {
+  /// P0 (default): all N organizations must endorse.
+  kP0AllOrgs,
+  /// P1: 2 signatures — Org0 plus any one of the other organizations
+  /// (one sub-policy).
+  kP1OrgZeroPlusAny,
+  /// P2: 2 signatures — one from the first half of the organizations
+  /// and one from the second half (two sub-policies).
+  kP2OneFromEachHalf,
+  /// P3: a quorum (N/2 + 1) of the organizations.
+  kP3Quorum,
+};
+
+const char* PolicyPresetToString(PolicyPreset preset);
+
+/// Builds the preset for the given number of organizations (>= 2).
+EndorsementPolicy MakePolicy(PolicyPreset preset, int num_orgs);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_POLICY_POLICY_PRESETS_H_

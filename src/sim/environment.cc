@@ -1,0 +1,38 @@
+#include "src/sim/environment.h"
+
+#include <utility>
+
+namespace fabricsim {
+
+Environment::Environment(uint64_t seed) : rng_(seed, /*stream=*/1) {}
+
+void Environment::Schedule(SimTime delay, std::function<void()> action) {
+  if (delay < 0) delay = 0;
+  queue_.Push(now_ + delay, std::move(action));
+}
+
+void Environment::ScheduleAt(SimTime time, std::function<void()> action) {
+  if (time < now_) time = now_;
+  queue_.Push(time, std::move(action));
+}
+
+void Environment::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.PeekTime() <= until) {
+    Event ev = queue_.Pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.action();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Environment::RunAll() {
+  while (!queue_.empty()) {
+    Event ev = queue_.Pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.action();
+  }
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,50 @@
+#ifndef FABRICSIM_SIM_ENVIRONMENT_H_
+#define FABRICSIM_SIM_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/event_queue.h"
+
+namespace fabricsim {
+
+/// The discrete-event simulation environment: a virtual clock plus the
+/// event queue. Single-threaded and deterministic for a given seed.
+class Environment {
+ public:
+  explicit Environment(uint64_t seed = 1);
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` after `delay` (>= 0) simulated microseconds.
+  void Schedule(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `time` (clamped to now()).
+  void ScheduleAt(SimTime time, std::function<void()> action);
+
+  /// Runs events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run.
+  void RunUntil(SimTime until);
+
+  /// Runs until the event queue is empty.
+  void RunAll();
+
+  /// Number of events executed so far (for tests / diagnostics).
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Root RNG for this run; actors should Fork() their own streams.
+  Rng& rng() { return rng_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_executed_ = 0;
+  Rng rng_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_SIM_ENVIRONMENT_H_

@@ -1,0 +1,21 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace fabricsim {
+
+void EventQueue::Push(SimTime time, std::function<void()> action) {
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::PeekTime() const { return heap_.top().time; }
+
+Event EventQueue::Pop() {
+  // priority_queue::top() returns const&; move via const_cast is safe
+  // because we pop immediately afterwards.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace fabricsim

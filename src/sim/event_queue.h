@@ -1,0 +1,50 @@
+#ifndef FABRICSIM_SIM_EVENT_QUEUE_H_
+#define FABRICSIM_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace fabricsim {
+
+/// A single scheduled callback. Events with equal timestamps fire in
+/// insertion order (FIFO tie-break via sequence number) so simulations
+/// are fully deterministic.
+struct Event {
+  SimTime time;
+  uint64_t seq;
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute simulated time `time`.
+  void Push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Must not be empty.
+  SimTime PeekTime() const;
+
+  /// Removes and returns the earliest event. Must not be empty.
+  Event Pop();
+
+ private:
+  struct Compare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_SIM_EVENT_QUEUE_H_

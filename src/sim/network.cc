@@ -1,0 +1,38 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+namespace fabricsim {
+
+SimTime Network::SampleDelay(NodeId from, NodeId to, uint64_t bytes) {
+  if (from == to) return 0;
+  double delay = static_cast<double>(config_.base_latency);
+  if (config_.jitter > 0) {
+    delay += rng_.UniformRange(-static_cast<double>(config_.jitter),
+                               static_cast<double>(config_.jitter));
+  }
+  if (config_.bandwidth_bytes_per_us > 0) {
+    delay += static_cast<double>(bytes) / config_.bandwidth_bytes_per_us;
+  }
+  for (NodeId node : {from, to}) {
+    auto it = injected_.find(node);
+    if (it == injected_.end()) continue;
+    double extra = static_cast<double>(it->second.extra);
+    if (it->second.jitter > 0) {
+      extra += rng_.UniformRange(-static_cast<double>(it->second.jitter),
+                                 static_cast<double>(it->second.jitter));
+    }
+    delay += extra;
+  }
+  if (delay < 1.0) delay = 1.0;
+  return static_cast<SimTime>(delay);
+}
+
+void Network::Send(Environment& env, NodeId from, NodeId to, uint64_t bytes,
+                   std::function<void()> deliver) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  env.Schedule(SampleDelay(from, to, bytes), std::move(deliver));
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,71 @@
+#ifndef FABRICSIM_SIM_NETWORK_H_
+#define FABRICSIM_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/environment.h"
+
+namespace fabricsim {
+
+/// Identifies a simulation node (client, peer or orderer).
+using NodeId = int32_t;
+
+/// Parameters of the network delay model. Delays are
+///   base + U(-jitter, +jitter) + bytes / bandwidth + injected(src/dst)
+/// where `injected` is the Pumba-style per-node chaos delay.
+struct NetworkConfig {
+  /// One-way base latency between any two distinct nodes.
+  SimTime base_latency = 300;  // 0.3 ms: intra-datacenter gRPC hop
+  /// Uniform jitter half-width added to every message.
+  SimTime jitter = 150;
+  /// Payload cost in bytes per microsecond (~1 GB/s by default).
+  double bandwidth_bytes_per_us = 1000.0;
+};
+
+/// Pumba-style injected delay for a node: extra ± jitter, e.g. the
+/// paper's 100 ± 10 ms on all peers of one organization (Fig. 16).
+struct InjectedDelay {
+  SimTime extra = 0;
+  SimTime jitter = 0;
+};
+
+/// Simulated message-passing network with deterministic, seeded
+/// randomness. Delivery preserves causality but not ordering (two
+/// messages can overtake each other thanks to jitter), like UDP/gRPC
+/// streams across distinct connections.
+class Network {
+ public:
+  Network(NetworkConfig config, Rng rng)
+      : config_(config), rng_(std::move(rng)) {}
+
+  /// Adds a chaos-injected delay applied to every message into or out
+  /// of `node`.
+  void InjectDelay(NodeId node, InjectedDelay delay) {
+    injected_[node] = delay;
+  }
+
+  /// Samples the one-way delay for a message of `bytes` from -> to.
+  SimTime SampleDelay(NodeId from, NodeId to, uint64_t bytes);
+
+  /// Schedules `deliver` after the sampled network delay.
+  void Send(Environment& env, NodeId from, NodeId to, uint64_t bytes,
+            std::function<void()> deliver);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<NodeId, InjectedDelay> injected_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_SIM_NETWORK_H_

@@ -1,0 +1,88 @@
+#include "src/statedb/latency_profile.h"
+
+#include <algorithm>
+
+namespace fabricsim {
+
+const char* DatabaseTypeToString(DatabaseType type) {
+  switch (type) {
+    case DatabaseType::kLevelDb:
+      return "LevelDB";
+    case DatabaseType::kCouchDb:
+      return "CouchDB";
+  }
+  return "unknown";
+}
+
+DbLatencyProfile DbLatencyProfile::LevelDb() {
+  DbLatencyProfile p;
+  p.type = DatabaseType::kLevelDb;
+  p.get = FromMillis(0.6);
+  p.put = FromMillis(0.5);
+  p.del = FromMillis(0.6);
+  p.range_base = FromMillis(1.0);
+  p.range_per_key = FromMillis(0.05);
+  p.range_bulk_per_key = FromMillis(0.01);
+  p.rich_base = 0;  // unsupported
+  p.rich_per_doc = 0;
+  p.validate_per_read = FromMillis(0.05);
+  p.validate_range_base = FromMillis(0.5);
+  p.validate_range_per_key = FromMillis(0.005);
+  p.commit_per_write = FromMillis(0.2);
+  p.commit_base = FromMillis(12.0);
+  p.supports_rich_queries = false;
+  return p;
+}
+
+DbLatencyProfile DbLatencyProfile::CouchDb() {
+  DbLatencyProfile p;
+  p.type = DatabaseType::kCouchDb;
+  p.get = FromMillis(8.3);
+  p.put = FromMillis(0.8);
+  p.del = FromMillis(1.2);
+  p.range_base = FromMillis(80.0);
+  p.range_per_key = FromMillis(1.0);
+  p.range_bulk_per_key = FromMillis(0.05);
+  p.rich_base = FromMillis(60.0);
+  p.rich_per_doc = FromMillis(0.08);
+  p.validate_per_read = FromMillis(0.4);
+  p.validate_range_base = FromMillis(5.0);
+  p.validate_range_per_key = FromMillis(0.02);
+  p.commit_per_write = FromMillis(1.0);
+  p.commit_base = FromMillis(70.0);
+  p.supports_rich_queries = true;
+  return p;
+}
+
+SimTime DbLatencyProfile::EndorseCost(const ReadWriteSet& rwset) const {
+  SimTime cost = 0;
+  cost += static_cast<SimTime>(rwset.reads.size()) * get;
+  for (const WriteItem& w : rwset.writes) cost += w.is_delete ? del : put;
+  for (const RangeQueryInfo& rq : rwset.range_queries) {
+    if (rq.phantom_check) {
+      auto n = static_cast<SimTime>(rq.reads.size());
+      SimTime detail = std::min<SimTime>(n, range_detail_keys);
+      cost += range_base + detail * range_per_key +
+              (n - detail) * range_bulk_per_key;
+    } else {
+      cost += rich_base + static_cast<SimTime>(rq.reads.size()) * rich_per_doc;
+    }
+  }
+  return cost;
+}
+
+SimTime DbLatencyProfile::ValidateCost(const ReadWriteSet& rwset) const {
+  SimTime cost = static_cast<SimTime>(rwset.reads.size()) * validate_per_read;
+  for (const RangeQueryInfo& rq : rwset.range_queries) {
+    if (!rq.phantom_check) continue;  // rich queries are not re-executed
+    cost += validate_range_base +
+            static_cast<SimTime>(rq.reads.size()) * validate_range_per_key;
+  }
+  return cost;
+}
+
+SimTime DbLatencyProfile::CommitCost(size_t write_count) const {
+  return commit_base + static_cast<SimTime>(write_count) * commit_per_write;
+}
+
+}  // namespace fabricsim

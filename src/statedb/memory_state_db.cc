@@ -1,0 +1,42 @@
+#include "src/statedb/memory_state_db.h"
+
+namespace fabricsim {
+
+std::optional<VersionedValue> MemoryStateDb::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<StateEntry> MemoryStateDb::GetRange(
+    const std::string& start_key, const std::string& end_key) const {
+  std::vector<StateEntry> out;
+  auto it = map_.lower_bound(start_key);
+  auto end = end_key.empty() ? map_.end() : map_.lower_bound(end_key);
+  for (; it != end; ++it) {
+    out.push_back(StateEntry{it->first, it->second});
+  }
+  return out;
+}
+
+Status MemoryStateDb::ApplyWrite(const WriteItem& write, Version version) {
+  if (write.is_delete) {
+    map_.erase(write.key);
+    return Status::OK();
+  }
+  map_[write.key] = VersionedValue{write.value, version};
+  return Status::OK();
+}
+
+std::vector<StateEntry> MemoryStateDb::Scan() const {
+  std::vector<StateEntry> out;
+  out.reserve(map_.size());
+  for (const auto& [key, vv] : map_) out.push_back(StateEntry{key, vv});
+  return out;
+}
+
+std::unique_ptr<StateDatabase> MakeMemoryStateDb() {
+  return std::make_unique<MemoryStateDb>();
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,30 @@
+#ifndef FABRICSIM_STATEDB_MEMORY_STATE_DB_H_
+#define FABRICSIM_STATEDB_MEMORY_STATE_DB_H_
+
+#include <map>
+#include <string>
+
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+
+/// Ordered in-memory implementation of StateDatabase. Each peer owns
+/// one instance; replicas diverge transiently while blocks are in
+/// flight, which is exactly the world-state inconsistency that causes
+/// endorsement policy failures.
+class MemoryStateDb : public StateDatabase {
+ public:
+  std::optional<VersionedValue> Get(const std::string& key) const override;
+  std::vector<StateEntry> GetRange(const std::string& start_key,
+                                   const std::string& end_key) const override;
+  Status ApplyWrite(const WriteItem& write, Version version) override;
+  size_t Size() const override { return map_.size(); }
+  std::vector<StateEntry> Scan() const override;
+
+ private:
+  std::map<std::string, VersionedValue> map_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_STATEDB_MEMORY_STATE_DB_H_

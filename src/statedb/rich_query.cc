@@ -1,0 +1,76 @@
+#include "src/statedb/rich_query.h"
+
+#include "src/common/strings.h"
+
+namespace fabricsim {
+
+std::string JsonObject(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":\"" + v + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<std::string> ExtractJsonField(const std::string& doc,
+                                            const std::string& field) {
+  std::string needle = "\"" + field + "\":\"";
+  size_t pos = doc.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  size_t start = pos + needle.size();
+  size_t end = doc.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return doc.substr(start, end - start);
+}
+
+Result<RichQuerySelector> RichQuerySelector::Parse(
+    const std::string& selector) {
+  RichQuerySelector out;
+  for (const std::string& raw : StrSplit(selector, '&')) {
+    std::string term = StrTrim(raw);
+    if (term.empty()) continue;
+    size_t pos = term.find("==");
+    if (pos == std::string::npos || pos == 0) {
+      return Status::InvalidArgument("bad selector term: " + term);
+    }
+    out.terms_.emplace_back(StrTrim(term.substr(0, pos)),
+                            StrTrim(term.substr(pos + 2)));
+  }
+  if (out.terms_.empty()) {
+    return Status::InvalidArgument("empty selector");
+  }
+  return out;
+}
+
+bool RichQuerySelector::Matches(const std::string& doc) const {
+  for (const auto& [field, value] : terms_) {
+    std::optional<std::string> got = ExtractJsonField(doc, field);
+    if (!got.has_value() || *got != value) return false;
+  }
+  return true;
+}
+
+std::string RichQuerySelector::ToString() const {
+  std::string out;
+  for (const auto& [field, value] : terms_) {
+    if (!out.empty()) out += "&";
+    out += field + "==" + value;
+  }
+  return out;
+}
+
+std::vector<StateEntry> ExecuteRichQuery(const StateDatabase& db,
+                                         const RichQuerySelector& selector) {
+  std::vector<StateEntry> out;
+  for (StateEntry& entry : db.Scan()) {
+    if (selector.Matches(entry.vv.value)) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,55 @@
+#ifndef FABRICSIM_STATEDB_RICH_QUERY_H_
+#define FABRICSIM_STATEDB_RICH_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+
+/// Serializes a flat string-field map into a JSON object, e.g.
+/// JsonObject({{"docType","unit"},{"lsp","LSP3"}}). Chaincode values
+/// are stored in this format so CouchDB-style rich queries can select
+/// on fields.
+std::string JsonObject(
+    const std::vector<std::pair<std::string, std::string>>& fields);
+
+/// Extracts a top-level string field from a flat JSON object produced
+/// by JsonObject(). nullopt when the field is absent.
+std::optional<std::string> ExtractJsonField(const std::string& doc,
+                                            const std::string& field);
+
+/// A CouchDB-selector-like equality query: `field==value` terms joined
+/// with '&', e.g. "docType==unit&lsp==LSP3". This is the subset of
+/// Mango selectors the paper's chaincodes need (queryStock,
+/// calcRevenue). Rich queries scan every document and are *not*
+/// re-executed at validation — no phantom read detection (paper
+/// §5.1.2), exactly like Fabric's GetQueryResult.
+class RichQuerySelector {
+ public:
+  static Result<RichQuerySelector> Parse(const std::string& selector);
+
+  /// True when every equality term matches the document.
+  bool Matches(const std::string& doc) const;
+
+  const std::vector<std::pair<std::string, std::string>>& terms() const {
+    return terms_;
+  }
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> terms_;
+};
+
+/// Runs the selector over the whole store (document scan), returning
+/// matching entries in key order.
+std::vector<StateEntry> ExecuteRichQuery(const StateDatabase& db,
+                                         const RichQuerySelector& selector);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_STATEDB_RICH_QUERY_H_

@@ -1,0 +1,5 @@
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+// Interface only; factory lives in memory_state_db.cc.
+}  // namespace fabricsim

@@ -1,0 +1,63 @@
+#ifndef FABRICSIM_STATEDB_STATE_DATABASE_H_
+#define FABRICSIM_STATEDB_STATE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ledger/rwset.h"
+#include "src/ledger/version.h"
+
+namespace fabricsim {
+
+/// A value in the world state together with the version of the
+/// transaction that last wrote it (paper Definition 3).
+struct VersionedValue {
+  std::string value;
+  Version version;
+};
+
+/// One world-state entry: key + versioned value.
+struct StateEntry {
+  std::string key;
+  VersionedValue vv;
+};
+
+/// Abstract versioned key-value store backing a peer's world state.
+///
+/// This interface is pure data-plane: it performs the operation
+/// immediately and keeps no notion of time. The *cost* of each
+/// operation (the LevelDB-embedded vs CouchDB-over-REST gap the paper
+/// measures in Table 4) is modelled separately by DbLatencyProfile and
+/// charged by the simulation actors that call into the store.
+class StateDatabase {
+ public:
+  virtual ~StateDatabase() = default;
+
+  /// Point lookup. nullopt when the key does not exist.
+  virtual std::optional<VersionedValue> Get(const std::string& key) const = 0;
+
+  /// Range scan over [start_key, end_key), in key order. An empty
+  /// end_key means "to the end of the key space" (Fabric semantics).
+  virtual std::vector<StateEntry> GetRange(const std::string& start_key,
+                                           const std::string& end_key)
+      const = 0;
+
+  /// Applies one write (upsert or delete) committed at `version`.
+  virtual Status ApplyWrite(const WriteItem& write, Version version) = 0;
+
+  /// Number of live keys.
+  virtual size_t Size() const = 0;
+
+  /// All entries (used by rich queries, which scan documents).
+  virtual std::vector<StateEntry> Scan() const = 0;
+};
+
+/// Creates an in-memory ordered-map state database.
+std::unique_ptr<StateDatabase> MakeMemoryStateDb();
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_STATEDB_STATE_DATABASE_H_

@@ -1,0 +1,19 @@
+#include "src/workload/key_distribution.h"
+
+namespace fabricsim {
+
+KeyDistribution::KeyDistribution(uint64_t n, double zipf_skew)
+    : zipf_(n, zipf_skew) {}
+
+uint64_t KeyDistribution::Sample(Rng& rng) { return zipf_.Next(rng); }
+
+uint64_t KeyDistribution::SampleOther(Rng& rng, uint64_t other) {
+  if (n() <= 1) return other;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    uint64_t k = Sample(rng);
+    if (k != other) return k;
+  }
+  return (other + 1) % n();
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,35 @@
+#ifndef FABRICSIM_WORKLOAD_KEY_DISTRIBUTION_H_
+#define FABRICSIM_WORKLOAD_KEY_DISTRIBUTION_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace fabricsim {
+
+/// Key-index sampler over [0, n) with configurable Zipfian skew
+/// (paper §4.5: skew 0 = uniform; positive skew concentrates accesses
+/// on a popular subset). Thin deterministic wrapper over
+/// ZipfianGenerator.
+class KeyDistribution {
+ public:
+  KeyDistribution(uint64_t n, double zipf_skew);
+
+  /// Samples one key index.
+  uint64_t Sample(Rng& rng);
+
+  /// Samples a second index different from `other` (for two-key
+  /// functions like grantEhrAccess). Falls back to +1 wraparound when
+  /// the space is tiny.
+  uint64_t SampleOther(Rng& rng, uint64_t other);
+
+  uint64_t n() const { return zipf_.item_count(); }
+  double skew() const { return zipf_.theta(); }
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_KEY_DISTRIBUTION_H_

@@ -1,0 +1,21 @@
+#include "src/workload/workload_generator.h"
+
+namespace fabricsim {
+
+FunctionMixWorkload::FunctionMixWorkload(std::string chaincode,
+                                         std::vector<Entry> entries)
+    : chaincode_(std::move(chaincode)), entries_(std::move(entries)) {
+  for (const Entry& e : entries_) total_weight_ += e.weight;
+}
+
+Invocation FunctionMixWorkload::Next(Rng& rng) {
+  double pick = rng.UniformDouble() * total_weight_;
+  double cum = 0.0;
+  for (const Entry& e : entries_) {
+    cum += e.weight;
+    if (pick < cum) return e.make(rng);
+  }
+  return entries_.back().make(rng);
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,51 @@
+#ifndef FABRICSIM_WORKLOAD_WORKLOAD_GENERATOR_H_
+#define FABRICSIM_WORKLOAD_WORKLOAD_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaincode/chaincode.h"
+#include "src/common/rng.h"
+
+namespace fabricsim {
+
+/// Produces the stream of chaincode invocations the clients submit.
+/// One generator instance is shared by all clients of an experiment so
+/// that stateful streams (fresh insert keys, unique delete keys, ASN
+/// sequence numbers) stay globally unique.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Next invocation to submit.
+  virtual Invocation Next(Rng& rng) = 0;
+
+  /// The chaincode this workload targets.
+  virtual std::string chaincode() const = 0;
+};
+
+/// Generic weighted function mix: picks an entry proportional to its
+/// weight and delegates argument construction to the entry's factory.
+class FunctionMixWorkload : public WorkloadGenerator {
+ public:
+  struct Entry {
+    double weight;
+    std::function<Invocation(Rng&)> make;
+  };
+
+  FunctionMixWorkload(std::string chaincode, std::vector<Entry> entries);
+
+  Invocation Next(Rng& rng) override;
+  std::string chaincode() const override { return chaincode_; }
+
+ private:
+  std::string chaincode_;
+  std::vector<Entry> entries_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,25 @@
+#include "src/workload/workload_spec.h"
+
+namespace fabricsim {
+
+const char* WorkloadMixToString(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kUniform:
+      return "Uniform";
+    case WorkloadMix::kReadHeavy:
+      return "ReadHeavy";
+    case WorkloadMix::kInsertHeavy:
+      return "InsertHeavy";
+    case WorkloadMix::kUpdateHeavy:
+      return "UpdateHeavy";
+    case WorkloadMix::kDeleteHeavy:
+      return "DeleteHeavy";
+    case WorkloadMix::kRangeHeavy:
+      return "RangeHeavy";
+    case WorkloadMix::kReadWriteHeavy:
+      return "ReadWriteHeavy";
+  }
+  return "unknown";
+}
+
+}  // namespace fabricsim

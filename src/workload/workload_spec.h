@@ -1,0 +1,46 @@
+#ifndef FABRICSIM_WORKLOAD_WORKLOAD_SPEC_H_
+#define FABRICSIM_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace fabricsim {
+
+/// Transaction-mix presets (paper §4.4/§4.5). For genChain, an
+/// "x-heavy" workload is 80% x-transactions with the remaining types
+/// uniformly sharing the other 20%. For the use-case chaincodes,
+/// kReadHeavy / kReadWriteHeavy shift weight toward the read-only /
+/// read-write functions; kUniform weighs every function equally.
+enum class WorkloadMix {
+  kUniform,
+  kReadHeavy,
+  kInsertHeavy,
+  kUpdateHeavy,
+  kDeleteHeavy,
+  kRangeHeavy,
+  kReadWriteHeavy,
+};
+
+const char* WorkloadMixToString(WorkloadMix mix);
+
+/// Declarative workload description consumed by MakeWorkload().
+struct WorkloadConfig {
+  /// Target chaincode: "ehr", "dv", "scm", "drm" or "genchain".
+  std::string chaincode = "ehr";
+  WorkloadMix mix = WorkloadMix::kUniform;
+  /// Zipfian skew of key accesses (0 = uniform).
+  double zipf_skew = 1.0;
+  /// genChain only: sizes of range reads, chosen uniformly (paper: 2,
+  /// 4 or 8 keys).
+  std::vector<int> range_sizes = {2, 4, 8};
+  /// genChain only: number of bootstrapped keys.
+  uint64_t genchain_initial_keys = 100000;
+  /// genChain only: include range-read transactions in the mix. The
+  /// runner disables this for FabricSharp, which does not support
+  /// range queries (paper §5.4.3).
+  bool include_range_reads = true;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_WORKLOAD_SPEC_H_

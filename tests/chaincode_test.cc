@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/chaincode/ehr.h"
+#include "src/chaincode/registry.h"
+#include "src/chaincode/stub.h"
+#include "src/statedb/memory_state_db.h"
+
+namespace fabricsim {
+namespace {
+
+class StubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.ApplyWrite(WriteItem{"k1", "v1", false}, {3, 7});
+    db_.ApplyWrite(WriteItem{"k2", "v2", false}, {4, 1});
+  }
+  MemoryStateDb db_;
+};
+
+TEST_F(StubTest, GetStateRecordsVersion) {
+  ChaincodeStub stub(db_, true);
+  EXPECT_EQ(stub.GetState("k1").value_or(""), "v1");
+  ASSERT_EQ(stub.rwset().reads.size(), 1u);
+  EXPECT_EQ(stub.rwset().reads[0].key, "k1");
+  EXPECT_EQ(stub.rwset().reads[0].version, (Version{3, 7}));
+  EXPECT_TRUE(stub.rwset().reads[0].found);
+}
+
+TEST_F(StubTest, MissingKeyRecordedAsNotFound) {
+  ChaincodeStub stub(db_, true);
+  EXPECT_FALSE(stub.GetState("ghost").has_value());
+  ASSERT_EQ(stub.rwset().reads.size(), 1u);
+  EXPECT_FALSE(stub.rwset().reads[0].found);
+}
+
+TEST_F(StubTest, NoReadYourOwnWrites) {
+  // Fabric semantics: writes are buffered; reads always hit committed
+  // state.
+  ChaincodeStub stub(db_, true);
+  stub.PutState("k1", "updated");
+  EXPECT_EQ(stub.GetState("k1").value_or(""), "v1");
+  stub.PutState("fresh", "new");
+  EXPECT_FALSE(stub.GetState("fresh").has_value());
+}
+
+TEST_F(StubTest, WritesBufferedNotApplied) {
+  ChaincodeStub stub(db_, true);
+  stub.PutState("k9", "v9");
+  stub.DelState("k1");
+  EXPECT_FALSE(db_.Get("k9").has_value());
+  EXPECT_TRUE(db_.Get("k1").has_value());
+  ASSERT_EQ(stub.rwset().writes.size(), 2u);
+  EXPECT_FALSE(stub.rwset().writes[0].is_delete);
+  EXPECT_TRUE(stub.rwset().writes[1].is_delete);
+}
+
+TEST_F(StubTest, RangeQueryRecordsFootprint) {
+  ChaincodeStub stub(db_, true);
+  auto entries = stub.GetStateByRange("k1", "k3");
+  EXPECT_EQ(entries.size(), 2u);
+  ASSERT_EQ(stub.rwset().range_queries.size(), 1u);
+  const RangeQueryInfo& rq = stub.rwset().range_queries[0];
+  EXPECT_TRUE(rq.phantom_check);
+  EXPECT_EQ(rq.start_key, "k1");
+  EXPECT_EQ(rq.end_key, "k3");
+  ASSERT_EQ(rq.reads.size(), 2u);
+  EXPECT_EQ(rq.reads[0].version, (Version{3, 7}));
+  // Range footprints are not point reads.
+  EXPECT_TRUE(stub.rwset().reads.empty());
+}
+
+TEST_F(StubTest, RichQueryNotPhantomChecked) {
+  MemoryStateDb db;
+  db.ApplyWrite(WriteItem{"d1", JsonObject({{"docType", "x"}}), false},
+                {1, 0});
+  ChaincodeStub stub(db, true);
+  auto result = stub.GetQueryResult("docType==x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+  ASSERT_EQ(stub.rwset().range_queries.size(), 1u);
+  EXPECT_FALSE(stub.rwset().range_queries[0].phantom_check);
+}
+
+TEST_F(StubTest, RichQueryRequiresCouchDb) {
+  ChaincodeStub stub(db_, /*rich_queries_supported=*/false);
+  auto result = stub.GetQueryResult("docType==x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(StubTest, TakeRwsetMoves) {
+  ChaincodeStub stub(db_, true);
+  stub.GetState("k1");
+  ReadWriteSet rwset = stub.TakeRwset();
+  EXPECT_EQ(rwset.reads.size(), 1u);
+}
+
+// --------------------------------------------------------- Registry
+
+TEST(RegistryTest, DefaultHasAllFiveChaincodes) {
+  ChaincodeRegistry registry = ChaincodeRegistry::CreateDefault();
+  for (const char* name : {"ehr", "dv", "scm", "drm", "genChain"}) {
+    EXPECT_NE(registry.Get(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.Get("nope"), nullptr);
+  EXPECT_EQ(registry.InstalledNames().size(), 5u);
+}
+
+TEST(RegistryTest, RejectsDuplicatesAndNull) {
+  ChaincodeRegistry registry = ChaincodeRegistry::CreateDefault();
+  EXPECT_EQ(registry.Register(nullptr).code(), StatusCode::kInvalidArgument);
+  auto dup = std::make_shared<EhrChaincode>();
+  EXPECT_EQ(registry.Register(dup).code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace fabricsim

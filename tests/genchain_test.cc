@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "src/chaincode/genchain.h"
+#include "src/chaincode/genchain_emitter.h"
+#include "src/chaincode/stub.h"
+#include "src/peer/committer.h"
+#include "src/statedb/memory_state_db.h"
+
+namespace fabricsim {
+namespace {
+
+TEST(GenChaincodeSpecTest, PaperDefaultShape) {
+  GenChaincodeSpec spec = GenChaincodeSpec::PaperDefault();
+  EXPECT_EQ(spec.functions.size(), 5u);
+  EXPECT_EQ(spec.initial_keys, 100000u);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(GenChaincodeSpecTest, ValidateRejectsBadSpecs) {
+  GenChaincodeSpec empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  GenChaincodeSpec dup = GenChaincodeSpec::PaperDefault();
+  dup.functions.push_back(dup.functions[0]);
+  EXPECT_EQ(dup.Validate().code(), StatusCode::kAlreadyExists);
+
+  GenChaincodeSpec negative = GenChaincodeSpec::PaperDefault();
+  negative.functions[0].reads = -1;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  GenChaincodeSpec useless = GenChaincodeSpec::PaperDefault();
+  useless.functions[0] = GenFunctionSpec{"noop", 0, 0, 0, 0, 0, false};
+  EXPECT_FALSE(useless.Validate().ok());
+}
+
+TEST(GenFunctionSpecTest, ArgCount) {
+  GenFunctionSpec fn{"mixed", 2, 1, 1, 1, 2, false};
+  EXPECT_EQ(fn.ArgCount(), 2 + 1 + 1 + 1 + 4);
+}
+
+class GenChaincodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GenChaincodeSpec spec = GenChaincodeSpec::PaperDefault(/*keys=*/100);
+    cc_ = std::make_unique<GenChaincode>(spec);
+    ASSERT_TRUE(ApplyBootstrap(db_, cc_->BootstrapState()).ok());
+  }
+  MemoryStateDb db_;
+  std::unique_ptr<GenChaincode> cc_;
+};
+
+TEST_F(GenChaincodeTest, BootstrapsKeySpace) {
+  EXPECT_EQ(db_.Size(), 100u);
+  EXPECT_TRUE(db_.Get(GenChaincode::Key(0)).has_value());
+  EXPECT_TRUE(db_.Get(GenChaincode::Key(99)).has_value());
+  EXPECT_FALSE(db_.Get(GenChaincode::Key(100)).has_value());
+}
+
+TEST_F(GenChaincodeTest, ReadFunction) {
+  ChaincodeStub stub(db_, false);
+  ASSERT_TRUE(
+      cc_->Invoke(stub, Invocation{"readKeys", {GenChaincode::Key(5)}}).ok());
+  EXPECT_EQ(stub.rwset().reads.size(), 1u);
+  EXPECT_TRUE(stub.rwset().writes.empty());
+}
+
+TEST_F(GenChaincodeTest, InsertIsBlindWrite) {
+  // Inserts must carry no read dependency (paper: insert-heavy
+  // workloads avoid MVCC conflicts).
+  ChaincodeStub stub(db_, false);
+  ASSERT_TRUE(
+      cc_->Invoke(stub, Invocation{"insertKeys", {GenChaincode::Key(500)}})
+          .ok());
+  EXPECT_TRUE(stub.rwset().reads.empty());
+  EXPECT_EQ(stub.rwset().writes.size(), 1u);
+}
+
+TEST_F(GenChaincodeTest, UpdateIsReadModifyWrite) {
+  ChaincodeStub stub(db_, false);
+  ASSERT_TRUE(
+      cc_->Invoke(stub, Invocation{"updateKeys", {GenChaincode::Key(7)}})
+          .ok());
+  EXPECT_EQ(stub.rwset().reads.size(), 1u);
+  EXPECT_EQ(stub.rwset().writes.size(), 1u);
+}
+
+TEST_F(GenChaincodeTest, DeleteFunction) {
+  ChaincodeStub stub(db_, false);
+  ASSERT_TRUE(
+      cc_->Invoke(stub, Invocation{"deleteKeys", {GenChaincode::Key(9)}})
+          .ok());
+  ASSERT_EQ(stub.rwset().writes.size(), 1u);
+  EXPECT_TRUE(stub.rwset().writes[0].is_delete);
+}
+
+TEST_F(GenChaincodeTest, RangeReadFunction) {
+  ChaincodeStub stub(db_, false);
+  ASSERT_TRUE(cc_->Invoke(stub, Invocation{"rangeReadKeys",
+                                           {GenChaincode::Key(10),
+                                            GenChaincode::Key(14)}})
+                  .ok());
+  ASSERT_EQ(stub.rwset().range_queries.size(), 1u);
+  EXPECT_EQ(stub.rwset().range_queries[0].reads.size(), 4u);
+  EXPECT_TRUE(stub.rwset().range_queries[0].phantom_check);
+}
+
+TEST_F(GenChaincodeTest, RichVariantUsesQueryResult) {
+  GenChaincodeSpec spec = GenChaincodeSpec::PaperDefault(50);
+  spec.functions[4].use_rich_query = true;
+  GenChaincode rich_cc(spec);
+  MemoryStateDb db;
+  ASSERT_TRUE(ApplyBootstrap(db, rich_cc.BootstrapState()).ok());
+  ChaincodeStub stub(db, /*rich=*/true);
+  ASSERT_TRUE(rich_cc
+                  .Invoke(stub, Invocation{"rangeReadKeys",
+                                           {GenChaincode::Key(0),
+                                            GenChaincode::Key(4)}})
+                  .ok());
+  ASSERT_EQ(stub.rwset().range_queries.size(), 1u);
+  EXPECT_FALSE(stub.rwset().range_queries[0].phantom_check);
+}
+
+TEST_F(GenChaincodeTest, RejectsMissingArgs) {
+  ChaincodeStub stub(db_, false);
+  EXPECT_FALSE(cc_->Invoke(stub, Invocation{"rangeReadKeys", {"one"}}).ok());
+  EXPECT_FALSE(cc_->Invoke(stub, Invocation{"unknown", {}}).ok());
+}
+
+TEST_F(GenChaincodeTest, MultiActionFunction) {
+  GenChaincodeSpec spec;
+  spec.initial_keys = 20;
+  spec.functions = {GenFunctionSpec{"combo", 2, 1, 1, 1, 1, false}};
+  ASSERT_TRUE(spec.Validate().ok());
+  GenChaincode cc(spec);
+  MemoryStateDb db;
+  ASSERT_TRUE(ApplyBootstrap(db, cc.BootstrapState()).ok());
+  ChaincodeStub stub(db, false);
+  Invocation inv{"combo",
+                 {GenChaincode::Key(1), GenChaincode::Key(2),
+                  GenChaincode::Key(30), GenChaincode::Key(3),
+                  GenChaincode::Key(4), GenChaincode::Key(5),
+                  GenChaincode::Key(8)}};
+  ASSERT_TRUE(cc.Invoke(stub, inv).ok());
+  // 2 point reads + 1 update-read.
+  EXPECT_EQ(stub.rwset().reads.size(), 3u);
+  // 1 insert + 1 update + 1 delete.
+  EXPECT_EQ(stub.rwset().writes.size(), 3u);
+  EXPECT_EQ(stub.rwset().range_queries.size(), 1u);
+}
+
+// ----------------------------------------------------------- Emitter
+
+TEST(GenchainEmitterTest, EmitsWellFormedGo) {
+  GenChaincodeSpec spec = GenChaincodeSpec::PaperDefault();
+  std::string go = EmitGoChaincode(spec);
+  EXPECT_NE(go.find("package main"), std::string::npos);
+  EXPECT_NE(go.find("shim.ChaincodeStubInterface"), std::string::npos);
+  for (const GenFunctionSpec& fn : spec.functions) {
+    EXPECT_NE(go.find("func (c *GenChain) " + fn.name), std::string::npos)
+        << fn.name;
+    EXPECT_NE(go.find("case \"" + fn.name + "\""), std::string::npos);
+  }
+  EXPECT_NE(go.find("stub.GetStateByRange"), std::string::npos);
+  EXPECT_NE(go.find("stub.DelState"), std::string::npos);
+  // Balanced braces — cheap syntactic sanity check.
+  EXPECT_EQ(std::count(go.begin(), go.end(), '{'),
+            std::count(go.begin(), go.end(), '}'));
+}
+
+TEST(GenchainEmitterTest, RichQueryVariant) {
+  GenChaincodeSpec spec;
+  spec.functions = {GenFunctionSpec{"richScan", 0, 0, 0, 0, 1, true}};
+  std::string go = EmitGoChaincode(spec);
+  EXPECT_NE(go.find("stub.GetQueryResult"), std::string::npos);
+  EXPECT_EQ(go.find("GetStateByRange"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fabricsim

@@ -1,0 +1,183 @@
+// Actor-level tests for the ordering service: cut triggers, timeout
+// cancellation, streaming mode, delivery, and processor integration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/ordering/orderer.h"
+
+namespace fabricsim {
+namespace {
+
+Transaction SimpleTx(TxId id) {
+  Transaction tx;
+  tx.id = id;
+  tx.rwset.writes.push_back(WriteItem{"k" + std::to_string(id), "v", false});
+  return tx;
+}
+
+class OrdererTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<Environment>(5);
+    net_ = std::make_unique<Network>(NetworkConfig{}, Rng(5));
+  }
+
+  Orderer::Params BaseParams(uint32_t block_size) {
+    Orderer::Params params;
+    params.node = 0;
+    params.env = env_.get();
+    params.net = net_.get();
+    params.cutter = BlockCutter::Config{block_size, 1 << 20};
+    params.block_timeout = 2 * kSecond;
+    params.timing = TimingConfig{};
+    params.consensus = ConsensusModel(3, 4000);
+    params.rng = Rng(5);
+    params.peers.push_back(Orderer::Params::PeerEndpoint{
+        1, [this](std::shared_ptr<const Block> block) {
+          delivered_.push_back(std::move(block));
+        }});
+    return params;
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::shared_ptr<const Block>> delivered_;
+};
+
+TEST_F(OrdererTest, CutsAtBlockSize) {
+  Orderer orderer(BaseParams(3));
+  for (TxId id = 1; id <= 7; ++id) orderer.SubmitTransaction(SimpleTx(id));
+  env_->RunUntil(1 * kSecond);  // before the 2 s timeout
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[0]->txs.size(), 3u);
+  EXPECT_EQ(delivered_[0]->number, 1u);
+  EXPECT_EQ(delivered_[1]->number, 2u);
+  EXPECT_EQ(delivered_[0]->cut_reason, BlockCutReason::kMaxCount);
+  // The 7th transaction waits for the timeout.
+  env_->RunAll();
+  ASSERT_EQ(delivered_.size(), 3u);
+  EXPECT_EQ(delivered_[2]->txs.size(), 1u);
+  EXPECT_EQ(delivered_[2]->cut_reason, BlockCutReason::kTimeout);
+}
+
+TEST_F(OrdererTest, TimeoutCancelledByFullBlock) {
+  Orderer orderer(BaseParams(2));
+  orderer.SubmitTransaction(SimpleTx(1));
+  orderer.SubmitTransaction(SimpleTx(2));  // cuts immediately
+  env_->RunAll();
+  // Only one block: the timeout for the first tx must not fire an
+  // empty or duplicate cut.
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(orderer.blocks_cut(), 1u);
+}
+
+TEST_F(OrdererTest, OrderedTimeStamped) {
+  Orderer orderer(BaseParams(1));
+  orderer.SubmitTransaction(SimpleTx(1));
+  env_->RunAll();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_GT(delivered_[0]->txs[0].ordered_time, 0);
+}
+
+TEST_F(OrdererTest, StreamingCutsEveryTransaction) {
+  Orderer::Params params = BaseParams(100);
+  params.streaming = true;
+  Orderer orderer(std::move(params));
+  for (TxId id = 1; id <= 5; ++id) orderer.SubmitTransaction(SimpleTx(id));
+  env_->RunAll();
+  ASSERT_EQ(delivered_.size(), 5u);
+  for (const auto& block : delivered_) {
+    EXPECT_EQ(block->txs.size(), 1u);
+    EXPECT_EQ(block->cut_reason, BlockCutReason::kStreaming);
+  }
+}
+
+TEST_F(OrdererTest, DeliveryWaitsForConsensusLatency) {
+  Orderer orderer(BaseParams(1));
+  orderer.SubmitTransaction(SimpleTx(1));
+  // Consensus adds >= 0.8 * 4 ms * (1 + 0.3): nothing delivered after
+  // only 1 ms.
+  env_->RunUntil(1 * kMillisecond);
+  EXPECT_TRUE(delivered_.empty());
+  env_->RunAll();
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+// Processor that rejects even transaction ids and drops the rest's
+// block content at cut when asked.
+class RejectEvenProcessor : public BlockProcessor {
+ public:
+  bool Admit(const Transaction& tx, TxValidationCode* code) override {
+    if (tx.id % 2 == 0) {
+      *code = TxValidationCode::kAbortedNotSerializable;
+      return false;
+    }
+    return true;
+  }
+};
+
+TEST_F(OrdererTest, ProcessorAdmissionRejects) {
+  Orderer::Params params = BaseParams(2);
+  RejectEvenProcessor processor;
+  params.processor = &processor;
+  std::vector<TxId> aborted_ids;
+  params.on_early_abort = [&](const Transaction& tx, TxValidationCode code) {
+    EXPECT_EQ(code, TxValidationCode::kAbortedNotSerializable);
+    aborted_ids.push_back(tx.id);
+  };
+  Orderer orderer(std::move(params));
+  for (TxId id = 1; id <= 4; ++id) orderer.SubmitTransaction(SimpleTx(id));
+  env_->RunAll();
+  EXPECT_EQ(aborted_ids, (std::vector<TxId>{2, 4}));
+  EXPECT_EQ(orderer.txs_early_aborted(), 2u);
+  ASSERT_EQ(delivered_.size(), 1u);  // odd ids 1 and 3 form one block
+  EXPECT_EQ(delivered_[0]->txs.size(), 2u);
+}
+
+// Processor that drops every transaction at cut time.
+class DropAllProcessor : public BlockProcessor {
+ public:
+  SimTime OnBlockCut(Block* block,
+                     std::vector<EarlyAbort>* early_aborted) override {
+    for (Transaction& tx : block->txs) {
+      early_aborted->emplace_back(std::move(tx),
+                                  TxValidationCode::kAbortedNotSerializable);
+    }
+    block->txs.clear();
+    block->results.clear();
+    return 0;
+  }
+};
+
+TEST_F(OrdererTest, FullyAbortedBlockIsNotDelivered) {
+  Orderer::Params params = BaseParams(2);
+  DropAllProcessor processor;
+  params.processor = &processor;
+  Orderer orderer(std::move(params));
+  orderer.SubmitTransaction(SimpleTx(1));
+  orderer.SubmitTransaction(SimpleTx(2));
+  // Next batch delivers normally and must reuse the freed block number.
+  env_->RunAll();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(orderer.txs_early_aborted(), 2u);
+
+  Orderer::Params params2 = BaseParams(2);
+  params2.processor = nullptr;
+  Orderer orderer2(std::move(params2));
+  orderer2.SubmitTransaction(SimpleTx(3));
+  orderer2.SubmitTransaction(SimpleTx(4));
+  env_->RunAll();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0]->number, 1u);
+}
+
+TEST_F(OrdererTest, IngressCountsTransactions) {
+  Orderer orderer(BaseParams(10));
+  for (TxId id = 1; id <= 4; ++id) orderer.SubmitTransaction(SimpleTx(id));
+  env_->RunAll();
+  EXPECT_EQ(orderer.txs_received(), 4u);
+}
+
+}  // namespace
+}  // namespace fabricsim

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "src/statedb/latency_profile.h"
+#include "src/statedb/memory_state_db.h"
+#include "src/statedb/rich_query.h"
+
+namespace fabricsim {
+namespace {
+
+// ----------------------------------------------------- MemoryStateDb
+
+TEST(MemoryStateDbTest, PutGetDelete) {
+  MemoryStateDb db;
+  EXPECT_FALSE(db.Get("k").has_value());
+  ASSERT_TRUE(db.ApplyWrite(WriteItem{"k", "v1", false}, {1, 0}).ok());
+  auto got = db.Get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->value, "v1");
+  EXPECT_EQ(got->version, (Version{1, 0}));
+  ASSERT_TRUE(db.ApplyWrite(WriteItem{"k", "v2", false}, {2, 3}).ok());
+  EXPECT_EQ(db.Get("k")->version, (Version{2, 3}));
+  ASSERT_TRUE(db.ApplyWrite(WriteItem{"k", "", true}, {3, 0}).ok());
+  EXPECT_FALSE(db.Get("k").has_value());
+  EXPECT_EQ(db.Size(), 0u);
+}
+
+TEST(MemoryStateDbTest, DeleteMissingIsNoop) {
+  MemoryStateDb db;
+  EXPECT_TRUE(db.ApplyWrite(WriteItem{"ghost", "", true}, {1, 0}).ok());
+}
+
+TEST(MemoryStateDbTest, RangeScanHalfOpen) {
+  MemoryStateDb db;
+  for (int i = 0; i < 10; ++i) {
+    db.ApplyWrite(WriteItem{"k" + std::to_string(i), "v", false}, {1, 0});
+  }
+  auto range = db.GetRange("k2", "k5");
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].key, "k2");
+  EXPECT_EQ(range[2].key, "k4");
+}
+
+TEST(MemoryStateDbTest, RangeScanOpenEnd) {
+  MemoryStateDb db;
+  db.ApplyWrite(WriteItem{"a", "1", false}, {1, 0});
+  db.ApplyWrite(WriteItem{"b", "2", false}, {1, 1});
+  auto range = db.GetRange("a", "");
+  EXPECT_EQ(range.size(), 2u);
+}
+
+TEST(MemoryStateDbTest, ScanReturnsAllInOrder) {
+  MemoryStateDb db;
+  db.ApplyWrite(WriteItem{"z", "1", false}, {1, 0});
+  db.ApplyWrite(WriteItem{"a", "2", false}, {1, 1});
+  auto all = db.Scan();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].key, "a");
+  EXPECT_EQ(all[1].key, "z");
+}
+
+// --------------------------------------------------------- JSON utils
+
+TEST(JsonTest, BuildAndExtract) {
+  std::string doc = JsonObject({{"docType", "unit"}, {"lsp", "LSP3"}});
+  EXPECT_EQ(doc, "{\"docType\":\"unit\",\"lsp\":\"LSP3\"}");
+  EXPECT_EQ(ExtractJsonField(doc, "docType").value_or(""), "unit");
+  EXPECT_EQ(ExtractJsonField(doc, "lsp").value_or(""), "LSP3");
+  EXPECT_FALSE(ExtractJsonField(doc, "missing").has_value());
+}
+
+// --------------------------------------------------------- RichQuery
+
+TEST(RichQueryTest, ParseValidSelector) {
+  auto sel = RichQuerySelector::Parse("docType==unit&lsp==LSP3");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value().terms().size(), 2u);
+  EXPECT_EQ(sel.value().ToString(), "docType==unit&lsp==LSP3");
+}
+
+TEST(RichQueryTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(RichQuerySelector::Parse("").ok());
+  EXPECT_FALSE(RichQuerySelector::Parse("nonsense").ok());
+  EXPECT_FALSE(RichQuerySelector::Parse("==v").ok());
+}
+
+TEST(RichQueryTest, MatchesConjunction) {
+  auto sel = RichQuerySelector::Parse("docType==unit&lsp==LSP3").value();
+  EXPECT_TRUE(
+      sel.Matches(JsonObject({{"docType", "unit"}, {"lsp", "LSP3"}})));
+  EXPECT_FALSE(
+      sel.Matches(JsonObject({{"docType", "unit"}, {"lsp", "LSP1"}})));
+  EXPECT_FALSE(sel.Matches(JsonObject({{"docType", "unit"}})));
+}
+
+TEST(RichQueryTest, ExecuteScansDocuments) {
+  MemoryStateDb db;
+  for (int i = 0; i < 6; ++i) {
+    std::string lsp = i < 4 ? "LSP0" : "LSP1";
+    db.ApplyWrite(
+        WriteItem{"u" + std::to_string(i),
+                  JsonObject({{"docType", "unit"}, {"lsp", lsp}}), false},
+        {1, 0});
+  }
+  db.ApplyWrite(WriteItem{"meta", JsonObject({{"docType", "meta"}}), false},
+                {1, 0});
+  auto sel = RichQuerySelector::Parse("docType==unit&lsp==LSP0").value();
+  auto hits = ExecuteRichQuery(db, sel);
+  EXPECT_EQ(hits.size(), 4u);
+}
+
+// ----------------------------------------------------- LatencyProfile
+
+TEST(LatencyProfileTest, CouchDbIsSlowerEverywhere) {
+  DbLatencyProfile couch = DbLatencyProfile::CouchDb();
+  DbLatencyProfile level = DbLatencyProfile::LevelDb();
+  EXPECT_GT(couch.get, level.get);
+  EXPECT_GT(couch.range_base, level.range_base);
+  EXPECT_GT(couch.validate_per_read, level.validate_per_read);
+  EXPECT_GT(couch.commit_per_write, level.commit_per_write);
+  EXPECT_TRUE(couch.supports_rich_queries);
+  EXPECT_FALSE(level.supports_rich_queries);
+}
+
+TEST(LatencyProfileTest, Table4PointLatencies) {
+  // Paper Table 4 function-call latencies: GetState 8.3 ms vs 0.6 ms.
+  EXPECT_EQ(DbLatencyProfile::CouchDb().get, FromMillis(8.3));
+  EXPECT_EQ(DbLatencyProfile::LevelDb().get, FromMillis(0.6));
+}
+
+TEST(LatencyProfileTest, EndorseCostCountsOps) {
+  DbLatencyProfile p = DbLatencyProfile::LevelDb();
+  ReadWriteSet rwset;
+  rwset.reads.push_back(ReadItem{"a", {0, 0}, true});
+  rwset.reads.push_back(ReadItem{"b", {0, 0}, true});
+  rwset.writes.push_back(WriteItem{"c", "v", false});
+  rwset.writes.push_back(WriteItem{"d", "", true});
+  SimTime expected = 2 * p.get + p.put + p.del;
+  EXPECT_EQ(p.EndorseCost(rwset), expected);
+}
+
+TEST(LatencyProfileTest, RangeCostScalesWithKeys) {
+  DbLatencyProfile p = DbLatencyProfile::CouchDb();
+  ReadWriteSet small, large;
+  RangeQueryInfo rq;
+  rq.phantom_check = true;
+  rq.reads.assign(2, ReadItem{"k", {0, 0}, true});
+  small.range_queries.push_back(rq);
+  rq.reads.assign(800, ReadItem{"k", {0, 0}, true});
+  large.range_queries.push_back(rq);
+  EXPECT_GT(p.EndorseCost(large), p.EndorseCost(small));
+  EXPECT_GT(p.ValidateCost(large), p.ValidateCost(small));
+}
+
+TEST(LatencyProfileTest, RichQueriesNotRevalidated) {
+  DbLatencyProfile p = DbLatencyProfile::CouchDb();
+  ReadWriteSet rwset;
+  RangeQueryInfo rich;
+  rich.phantom_check = false;
+  rich.reads.assign(500, ReadItem{"k", {0, 0}, true});
+  rwset.range_queries.push_back(rich);
+  EXPECT_EQ(p.ValidateCost(rwset), 0);
+  EXPECT_GT(p.EndorseCost(rwset), 0);
+}
+
+TEST(LatencyProfileTest, CommitCost) {
+  DbLatencyProfile p = DbLatencyProfile::LevelDb();
+  EXPECT_EQ(p.CommitCost(0), p.commit_base);
+  EXPECT_EQ(p.CommitCost(10), p.commit_base + 10 * p.commit_per_write);
+}
+
+TEST(StorageProfileTest, RamDiskIsCheaper) {
+  EXPECT_LT(StorageProfile::RamDisk().commit_cost_factor,
+            StorageProfile::Disk().commit_cost_factor);
+}
+
+}  // namespace
+}  // namespace fabricsim

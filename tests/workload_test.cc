@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/chaincode/stub.h"
+#include "src/core/experiment.h"
+#include "src/peer/committer.h"
+#include "src/statedb/memory_state_db.h"
+#include "src/workload/key_distribution.h"
+#include "src/workload/paper_workloads.h"
+
+namespace fabricsim {
+namespace {
+
+// ---------------------------------------------------- KeyDistribution
+
+TEST(KeyDistributionTest, UniformCoversSpace) {
+  KeyDistribution dist(50, 0.0);
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(dist.Sample(rng));
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(KeyDistributionTest, SampleOtherDiffers) {
+  KeyDistribution dist(10, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t a = dist.Sample(rng);
+    EXPECT_NE(dist.SampleOther(rng, a), a);
+  }
+}
+
+TEST(KeyDistributionTest, SkewConcentrates) {
+  KeyDistribution skewed(1000, 2.0);
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[skewed.Sample(rng)]++;
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // With skew 2, the hottest key takes a large share.
+  EXPECT_GT(max_count, 20000 / 10);
+}
+
+// ---------------------------------------------------- Workload mixes
+
+TEST(WorkloadMixTest, Names) {
+  EXPECT_STREQ(WorkloadMixToString(WorkloadMix::kUniform), "Uniform");
+  EXPECT_STREQ(WorkloadMixToString(WorkloadMix::kRangeHeavy), "RangeHeavy");
+}
+
+std::map<std::string, int> SampleFunctions(WorkloadGenerator& gen, int n) {
+  Rng rng(7);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < n; ++i) counts[gen.Next(rng).function]++;
+  return counts;
+}
+
+TEST(PaperWorkloadsTest, GenChainUniformMix) {
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kUniform;
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  auto counts = SampleFunctions(*gen.value(), 10000);
+  EXPECT_EQ(counts.size(), 5u);
+  for (auto& [fn, c] : counts) {
+    EXPECT_NEAR(c, 2000, 300) << fn;
+  }
+}
+
+TEST(PaperWorkloadsTest, GenChainUpdateHeavyMix) {
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kUpdateHeavy;
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  auto counts = SampleFunctions(*gen.value(), 10000);
+  // 80% updates, 5% each of the other four types (paper §4.4).
+  EXPECT_NEAR(counts["updateKeys"], 8000, 400);
+  EXPECT_NEAR(counts["readKeys"], 500, 200);
+  EXPECT_NEAR(counts["rangeReadKeys"], 500, 200);
+}
+
+TEST(PaperWorkloadsTest, GenChainInsertsAreUnique) {
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kInsertHeavy;
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(9);
+  std::set<std::string> insert_keys;
+  for (int i = 0; i < 5000; ++i) {
+    Invocation inv = gen.value()->Next(rng);
+    if (inv.function != "insertKeys") continue;
+    EXPECT_TRUE(insert_keys.insert(inv.args[0]).second)
+        << "duplicate insert key " << inv.args[0];
+  }
+  EXPECT_GT(insert_keys.size(), 3000u);
+}
+
+TEST(PaperWorkloadsTest, GenChainDeletesAreUnique) {
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kDeleteHeavy;
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(10);
+  std::set<std::string> delete_keys;
+  for (int i = 0; i < 5000; ++i) {
+    Invocation inv = gen.value()->Next(rng);
+    if (inv.function != "deleteKeys") continue;
+    EXPECT_TRUE(delete_keys.insert(inv.args[0]).second);
+  }
+}
+
+TEST(PaperWorkloadsTest, GenChainRangeSizes) {
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kRangeHeavy;
+  config.range_sizes = {2, 4, 8};
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(11);
+  std::set<long long> lengths;
+  for (int i = 0; i < 2000; ++i) {
+    Invocation inv = gen.value()->Next(rng);
+    if (inv.function != "rangeReadKeys") continue;
+    long long start = std::stoll(inv.args[0].substr(2));
+    long long end = std::stoll(inv.args[1].substr(2));
+    lengths.insert(end - start);
+  }
+  EXPECT_EQ(lengths, (std::set<long long>{2, 4, 8}));
+}
+
+TEST(PaperWorkloadsTest, ExcludeRangeReadsForFabricSharp) {
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kUniform;
+  config.include_range_reads = false;
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  auto counts = SampleFunctions(*gen.value(), 4000);
+  EXPECT_EQ(counts.count("rangeReadKeys"), 0u);
+}
+
+TEST(PaperWorkloadsTest, UnknownChaincodeRejected) {
+  WorkloadConfig config;
+  config.chaincode = "bogus";
+  EXPECT_FALSE(MakeWorkload(config, true).ok());
+}
+
+TEST(PaperWorkloadsTest, LevelDbExcludesRichFunctions) {
+  for (const char* cc : {"scm", "drm"}) {
+    WorkloadConfig config;
+    config.chaincode = cc;
+    auto gen = MakeWorkload(config, /*rich=*/false);
+    ASSERT_TRUE(gen.ok());
+    auto counts = SampleFunctions(*gen.value(), 3000);
+    EXPECT_EQ(counts.count("queryStock"), 0u) << cc;
+    EXPECT_EQ(counts.count("calcRevenue"), 0u) << cc;
+  }
+}
+
+// Every generated invocation must execute cleanly against a
+// bootstrapped world state (argument conventions match the chaincode).
+class WorkloadValidityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadValidityTest, GeneratedInvocationsExecute) {
+  WorkloadConfig config;
+  config.chaincode = GetParam();
+  config.zipf_skew = 1.0;
+  auto chaincode = MakeChaincodeFor(config);
+  ASSERT_TRUE(chaincode.ok());
+  auto gen = MakeWorkload(config, /*rich=*/true);
+  ASSERT_TRUE(gen.ok());
+
+  MemoryStateDb db;
+  ASSERT_TRUE(ApplyBootstrap(db, chaincode.value()->BootstrapState()).ok());
+  Rng rng(13);
+  int failures = 0;
+  for (int i = 0; i < 300; ++i) {
+    Invocation inv = gen.value()->Next(rng);
+    ChaincodeStub stub(db, true);
+    Status st = chaincode.value()->Invoke(stub, inv);
+    if (!st.ok()) ++failures;
+  }
+  // The open-loop generator may occasionally reference stale state
+  // (e.g. SCM after unloads), but the vast majority must execute.
+  EXPECT_LE(failures, 3) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChaincodes, WorkloadValidityTest,
+                         ::testing::Values("ehr", "dv", "scm", "drm",
+                                           "genchain"));
+
+}  // namespace
+}  // namespace fabricsim
