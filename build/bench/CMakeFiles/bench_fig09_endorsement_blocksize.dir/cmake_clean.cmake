@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_endorsement_blocksize.dir/bench_fig09_endorsement_blocksize.cc.o"
+  "CMakeFiles/bench_fig09_endorsement_blocksize.dir/bench_fig09_endorsement_blocksize.cc.o.d"
+  "bench_fig09_endorsement_blocksize"
+  "bench_fig09_endorsement_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_endorsement_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_phantom_blocksize.dir/bench_fig10_phantom_blocksize.cc.o"
+  "CMakeFiles/bench_fig10_phantom_blocksize.dir/bench_fig10_phantom_blocksize.cc.o.d"
+  "bench_fig10_phantom_blocksize"
+  "bench_fig10_phantom_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_phantom_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_database_type.dir/bench_fig11_database_type.cc.o"
+  "CMakeFiles/bench_fig11_database_type.dir/bench_fig11_database_type.cc.o.d"
+  "bench_fig11_database_type"
+  "bench_fig11_database_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_database_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_num_orgs.dir/bench_fig12_num_orgs.cc.o"
+  "CMakeFiles/bench_fig12_num_orgs.dir/bench_fig12_num_orgs.cc.o.d"
+  "bench_fig12_num_orgs"
+  "bench_fig12_num_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_num_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fabricpp_blocksize.dir/bench_fig17_fabricpp_blocksize.cc.o"
+  "CMakeFiles/bench_fig17_fabricpp_blocksize.dir/bench_fig17_fabricpp_blocksize.cc.o.d"
+  "bench_fig17_fabricpp_blocksize"
+  "bench_fig17_fabricpp_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fabricpp_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_fabricpp_chaincodes.dir/bench_fig18_fabricpp_chaincodes.cc.o"
+  "CMakeFiles/bench_fig18_fabricpp_chaincodes.dir/bench_fig18_fabricpp_chaincodes.cc.o.d"
+  "bench_fig18_fabricpp_chaincodes"
+  "bench_fig18_fabricpp_chaincodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_fabricpp_chaincodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_fabricsharp.dir/bench_fig24_fabricsharp.cc.o"
+  "CMakeFiles/bench_fig24_fabricsharp.dir/bench_fig24_fabricsharp.cc.o.d"
+  "bench_fig24_fabricsharp"
+  "bench_fig24_fabricsharp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_fabricsharp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

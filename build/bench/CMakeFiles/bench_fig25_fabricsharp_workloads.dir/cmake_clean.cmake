@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_fabricsharp_workloads.dir/bench_fig25_fabricsharp_workloads.cc.o"
+  "CMakeFiles/bench_fig25_fabricsharp_workloads.dir/bench_fig25_fabricsharp_workloads.cc.o.d"
+  "bench_fig25_fabricsharp_workloads"
+  "bench_fig25_fabricsharp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_fabricsharp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_database_type.
+# This may be replaced when dependencies are built.

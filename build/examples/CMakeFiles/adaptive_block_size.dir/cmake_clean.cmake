@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_block_size.dir/adaptive_block_size.cc.o"
+  "CMakeFiles/adaptive_block_size.dir/adaptive_block_size.cc.o.d"
+  "adaptive_block_size"
+  "adaptive_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

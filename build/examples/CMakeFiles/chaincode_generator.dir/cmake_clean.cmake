@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaincode_generator.dir/chaincode_generator.cc.o"
+  "CMakeFiles/chaincode_generator.dir/chaincode_generator.cc.o.d"
+  "chaincode_generator"
+  "chaincode_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaincode_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabricsim_cli.dir/fabricsim_cli.cc.o"
+  "CMakeFiles/fabricsim_cli.dir/fabricsim_cli.cc.o.d"
+  "fabricsim_cli"
+  "fabricsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabricsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

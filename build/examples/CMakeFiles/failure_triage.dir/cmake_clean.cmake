@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_triage.dir/failure_triage.cc.o"
+  "CMakeFiles/failure_triage.dir/failure_triage.cc.o.d"
+  "failure_triage"
+  "failure_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

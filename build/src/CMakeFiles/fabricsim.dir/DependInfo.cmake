@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaincode/chaincode.cc" "src/CMakeFiles/fabricsim.dir/chaincode/chaincode.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/chaincode.cc.o.d"
+  "/root/repo/src/chaincode/digital_voting.cc" "src/CMakeFiles/fabricsim.dir/chaincode/digital_voting.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/digital_voting.cc.o.d"
+  "/root/repo/src/chaincode/drm.cc" "src/CMakeFiles/fabricsim.dir/chaincode/drm.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/drm.cc.o.d"
+  "/root/repo/src/chaincode/ehr.cc" "src/CMakeFiles/fabricsim.dir/chaincode/ehr.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/ehr.cc.o.d"
+  "/root/repo/src/chaincode/genchain.cc" "src/CMakeFiles/fabricsim.dir/chaincode/genchain.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/genchain.cc.o.d"
+  "/root/repo/src/chaincode/genchain_emitter.cc" "src/CMakeFiles/fabricsim.dir/chaincode/genchain_emitter.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/genchain_emitter.cc.o.d"
+  "/root/repo/src/chaincode/registry.cc" "src/CMakeFiles/fabricsim.dir/chaincode/registry.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/registry.cc.o.d"
+  "/root/repo/src/chaincode/stub.cc" "src/CMakeFiles/fabricsim.dir/chaincode/stub.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/stub.cc.o.d"
+  "/root/repo/src/chaincode/supply_chain.cc" "src/CMakeFiles/fabricsim.dir/chaincode/supply_chain.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/supply_chain.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/fabricsim.dir/client/client.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/client/client.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/fabricsim.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/fabricsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fabricsim.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/fabricsim.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/block_size_advisor.cc" "src/CMakeFiles/fabricsim.dir/core/block_size_advisor.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/core/block_size_advisor.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/fabricsim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/failure_report.cc" "src/CMakeFiles/fabricsim.dir/core/failure_report.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/core/failure_report.cc.o.d"
+  "/root/repo/src/core/recommendations.cc" "src/CMakeFiles/fabricsim.dir/core/recommendations.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/core/recommendations.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/fabricsim.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/sweeps.cc" "src/CMakeFiles/fabricsim.dir/core/sweeps.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/core/sweeps.cc.o.d"
+  "/root/repo/src/ext/fabricpp/conflict_graph.cc" "src/CMakeFiles/fabricsim.dir/ext/fabricpp/conflict_graph.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ext/fabricpp/conflict_graph.cc.o.d"
+  "/root/repo/src/ext/fabricpp/reorderer.cc" "src/CMakeFiles/fabricsim.dir/ext/fabricpp/reorderer.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ext/fabricpp/reorderer.cc.o.d"
+  "/root/repo/src/ext/fabricsharp/dependency_tracker.cc" "src/CMakeFiles/fabricsim.dir/ext/fabricsharp/dependency_tracker.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ext/fabricsharp/dependency_tracker.cc.o.d"
+  "/root/repo/src/ext/fabricsharp/fabricsharp.cc" "src/CMakeFiles/fabricsim.dir/ext/fabricsharp/fabricsharp.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ext/fabricsharp/fabricsharp.cc.o.d"
+  "/root/repo/src/ext/streamchain/streamchain.cc" "src/CMakeFiles/fabricsim.dir/ext/streamchain/streamchain.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ext/streamchain/streamchain.cc.o.d"
+  "/root/repo/src/fabric/fabric_network.cc" "src/CMakeFiles/fabricsim.dir/fabric/fabric_network.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/fabric_network.cc.o.d"
+  "/root/repo/src/fabric/network_config.cc" "src/CMakeFiles/fabricsim.dir/fabric/network_config.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/network_config.cc.o.d"
+  "/root/repo/src/ledger/block.cc" "src/CMakeFiles/fabricsim.dir/ledger/block.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/block.cc.o.d"
+  "/root/repo/src/ledger/block_store.cc" "src/CMakeFiles/fabricsim.dir/ledger/block_store.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/block_store.cc.o.d"
+  "/root/repo/src/ledger/ledger_parser.cc" "src/CMakeFiles/fabricsim.dir/ledger/ledger_parser.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/ledger_parser.cc.o.d"
+  "/root/repo/src/ledger/rwset.cc" "src/CMakeFiles/fabricsim.dir/ledger/rwset.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/rwset.cc.o.d"
+  "/root/repo/src/ledger/transaction.cc" "src/CMakeFiles/fabricsim.dir/ledger/transaction.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/transaction.cc.o.d"
+  "/root/repo/src/ledger/version.cc" "src/CMakeFiles/fabricsim.dir/ledger/version.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/version.cc.o.d"
+  "/root/repo/src/ordering/block_cutter.cc" "src/CMakeFiles/fabricsim.dir/ordering/block_cutter.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/block_cutter.cc.o.d"
+  "/root/repo/src/ordering/orderer.cc" "src/CMakeFiles/fabricsim.dir/ordering/orderer.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/orderer.cc.o.d"
+  "/root/repo/src/peer/committer.cc" "src/CMakeFiles/fabricsim.dir/peer/committer.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/committer.cc.o.d"
+  "/root/repo/src/peer/endorser.cc" "src/CMakeFiles/fabricsim.dir/peer/endorser.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/endorser.cc.o.d"
+  "/root/repo/src/peer/peer.cc" "src/CMakeFiles/fabricsim.dir/peer/peer.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/peer.cc.o.d"
+  "/root/repo/src/peer/validator.cc" "src/CMakeFiles/fabricsim.dir/peer/validator.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/validator.cc.o.d"
+  "/root/repo/src/policy/endorsement_policy.cc" "src/CMakeFiles/fabricsim.dir/policy/endorsement_policy.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/policy/endorsement_policy.cc.o.d"
+  "/root/repo/src/policy/policy_parser.cc" "src/CMakeFiles/fabricsim.dir/policy/policy_parser.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/policy/policy_parser.cc.o.d"
+  "/root/repo/src/policy/policy_presets.cc" "src/CMakeFiles/fabricsim.dir/policy/policy_presets.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/policy/policy_presets.cc.o.d"
+  "/root/repo/src/sim/environment.cc" "src/CMakeFiles/fabricsim.dir/sim/environment.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/environment.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/fabricsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/fabricsim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/work_queue.cc" "src/CMakeFiles/fabricsim.dir/sim/work_queue.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/work_queue.cc.o.d"
+  "/root/repo/src/statedb/latency_profile.cc" "src/CMakeFiles/fabricsim.dir/statedb/latency_profile.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/statedb/latency_profile.cc.o.d"
+  "/root/repo/src/statedb/memory_state_db.cc" "src/CMakeFiles/fabricsim.dir/statedb/memory_state_db.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/statedb/memory_state_db.cc.o.d"
+  "/root/repo/src/statedb/rich_query.cc" "src/CMakeFiles/fabricsim.dir/statedb/rich_query.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/statedb/rich_query.cc.o.d"
+  "/root/repo/src/statedb/state_database.cc" "src/CMakeFiles/fabricsim.dir/statedb/state_database.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/statedb/state_database.cc.o.d"
+  "/root/repo/src/workload/key_distribution.cc" "src/CMakeFiles/fabricsim.dir/workload/key_distribution.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/workload/key_distribution.cc.o.d"
+  "/root/repo/src/workload/paper_workloads.cc" "src/CMakeFiles/fabricsim.dir/workload/paper_workloads.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/workload/paper_workloads.cc.o.d"
+  "/root/repo/src/workload/workload_generator.cc" "src/CMakeFiles/fabricsim.dir/workload/workload_generator.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/workload/workload_generator.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/CMakeFiles/fabricsim.dir/workload/workload_spec.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/workload/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/block_cutter_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/block_cutter_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/block_cutter_test.cc.o.d"
+  "/root/repo/tests/chaincode_ops_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/chaincode_ops_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/chaincode_ops_test.cc.o.d"
+  "/root/repo/tests/chaincode_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/chaincode_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/chaincode_test.cc.o.d"
+  "/root/repo/tests/client_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/client_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/client_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/fabricpp_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/fabricpp_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/fabricpp_test.cc.o.d"
+  "/root/repo/tests/fabricsharp_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/fabricsharp_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/fabricsharp_test.cc.o.d"
+  "/root/repo/tests/genchain_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/genchain_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/genchain_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ledger_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/ledger_test.cc.o.d"
+  "/root/repo/tests/orderer_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/orderer_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/orderer_test.cc.o.d"
+  "/root/repo/tests/peer_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/peer_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/peer_test.cc.o.d"
+  "/root/repo/tests/policy_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/policy_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/policy_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/serializability_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/serializability_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/serializability_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/statedb_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/statedb_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/statedb_test.cc.o.d"
+  "/root/repo/tests/validator_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/validator_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/validator_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fabricsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
