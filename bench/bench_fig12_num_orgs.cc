@@ -11,16 +11,24 @@ int main() {
          "number of organizations: more world-state replicas, more "
          "transient inconsistency");
 
+  ExperimentConfig config = BaseC2(100);
+  config.repetitions = 3;
+  // One flat (org-count, seed) job list: all 15 DES instances fan out
+  // over FABRICSIM_JOBS workers at once.
+  Result<std::vector<OrgCountPoint>> points =
+      SweepOrgCounts(config, {2, 4, 6, 8, 10});
+  if (!points.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
   std::printf("%6s %12s %16s %12s\n", "orgs", "latency(s)", "endorsement%",
               "total fail%");
-  for (int orgs : {2, 4, 6, 8, 10}) {
-    ExperimentConfig config = BaseC2(100);
-    config.fabric.cluster.num_orgs = orgs;
-    config.repetitions = 3;
-    FailureReport r = MustRun(config);
-    std::printf("%6d %12.3f %16.2f %12.2f\n", orgs, r.avg_latency_s,
-                r.endorsement_pct, r.total_failure_pct);
-    std::fflush(stdout);
+  for (const OrgCountPoint& point : points.value()) {
+    std::printf("%6d %12.3f %16.2f %12.2f\n", point.num_orgs,
+                point.report.avg_latency_s, point.report.endorsement_pct,
+                point.report.total_failure_pct);
   }
   return 0;
 }

@@ -12,23 +12,26 @@ int main() {
          "less than P2 (one per half, 2 sub-policies) despite equal "
          "signature counts; sub-policies also increase latency");
 
+  // One flat (policy, seed) job list over FABRICSIM_JOBS workers.
+  Result<std::vector<PolicyPoint>> points = SweepPolicyPresets(
+      BaseC2(100),
+      {PolicyPreset::kP0AllOrgs, PolicyPreset::kP1OrgZeroPlusAny,
+       PolicyPreset::kP2OneFromEachHalf, PolicyPreset::kP3Quorum});
+  if (!points.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
   std::printf("%-4s %-34s %6s %10s %14s %12s\n", "id", "policy", "sigs",
               "subpols", "endorsement%", "latency(s)");
-  for (PolicyPreset preset :
-       {PolicyPreset::kP0AllOrgs, PolicyPreset::kP1OrgZeroPlusAny,
-        PolicyPreset::kP2OneFromEachHalf, PolicyPreset::kP3Quorum}) {
-    ExperimentConfig config = BaseC2(100);
-    EndorsementPolicy policy =
-        MakePolicy(preset, config.fabric.cluster.num_orgs);
-    config.fabric.policy_text = policy.ToString();
-    FailureReport r = MustRun(config);
-    std::string text = policy.ToString();
+  for (const PolicyPoint& point : points.value()) {
+    std::string text = point.policy.ToString();
     if (text.size() > 33) text = text.substr(0, 30) + "...";
     std::printf("%-4s %-34s %6d %10d %14.2f %12.3f\n",
-                PolicyPresetToString(preset), text.c_str(),
-                policy.MinSignatures(), policy.SubPolicyCount(),
-                r.endorsement_pct, r.avg_latency_s);
-    std::fflush(stdout);
+                PolicyPresetToString(point.preset), text.c_str(),
+                point.policy.MinSignatures(), point.policy.SubPolicyCount(),
+                point.report.endorsement_pct, point.report.avg_latency_s);
   }
   return 0;
 }

@@ -1,10 +1,15 @@
 #ifndef FABRICSIM_BENCH_BENCH_UTIL_H_
 #define FABRICSIM_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/parallel.h"
 #include "src/core/runner.h"
 #include "src/core/sweeps.h"
 
@@ -15,8 +20,14 @@ namespace bench {
 /// paper drives load for 180 s and repeats >=3x; we default to 30 s
 /// simulated time and 2 seeds per point so every bench binary
 /// finishes in seconds — pass FABRICSIM_FULL=1 in the environment to
-/// run the paper-scale 180 s x 3 versions.
+/// run the paper-scale 180 s x 3 versions. FABRICSIM_JOBS=N picks the
+/// worker-thread count used to fan out independent (point, seed) DES
+/// instances (default: hardware_concurrency; 1 forces the serial
+/// path). Results are bitwise identical at any job count.
 inline ExperimentConfig Tuned(ExperimentConfig config) {
+  // Re-read the env knob here so every bench binary honours
+  // FABRICSIM_JOBS no matter what touched the setting earlier.
+  ParallelJobsFromEnv();
   if (std::getenv("FABRICSIM_FULL") != nullptr) {
     config.duration = 180 * kSecond;
     config.repetitions = 3;
@@ -58,6 +69,61 @@ inline FailureReport MustRun(const ExperimentConfig& config) {
   }
   return result.value().mean;
 }
+
+/// Wall-clock milliseconds since an arbitrary epoch, for bench timing.
+inline double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates machine-readable bench rows and writes them to
+/// BENCH_<name>.json (a JSON array) in the working directory on
+/// Flush()/destruction. One row per measured point:
+///   {"figure": ..., "point": ..., "seed": ..., "wall_ms": ...,
+///    "failure_pct": ...}
+/// so perf trajectories can be tracked across commits without
+/// scraping stdout.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string name) : name_(std::move(name)) {}
+  ~JsonWriter() { Flush(); }
+
+  void Row(const std::string& figure, double point, uint64_t seed,
+           double wall_ms, double failure_pct) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"figure\": \"%s\", \"point\": %g, \"seed\": %llu, "
+                  "\"wall_ms\": %.3f, \"failure_pct\": %.4f}",
+                  figure.c_str(), point,
+                  static_cast<unsigned long long>(seed), wall_ms,
+                  failure_pct);
+    rows_.push_back(buf);
+  }
+
+  /// Writes all accumulated rows; safe to call more than once (later
+  /// calls rewrite the file with the full row set).
+  void Flush() {
+    if (rows_.empty()) return;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace fabricsim

@@ -227,9 +227,7 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/memory_state_db.h \
  /root/repo/src/../src/statedb/state_database.h \
  /usr/include/c++/12/optional /root/repo/src/../src/common/status.h

@@ -210,10 +210,7 @@ examples/CMakeFiles/fabricsim_cli.dir/fabricsim_cli.cc.o: \
  /root/repo/src/../src/ledger/version.h \
  /root/repo/src/../src/statedb/rich_query.h \
  /root/repo/src/../src/statedb/state_database.h \
- /root/repo/src/../src/fabric/network_config.h \
- /root/repo/src/../src/common/sim_time.h \
- /root/repo/src/../src/sim/network.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -223,11 +220,11 @@ examples/CMakeFiles/fabricsim_cli.dir/fabricsim_cli.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/../src/common/rng.h \
+ /root/repo/src/../src/fabric/network_config.h \
+ /root/repo/src/../src/common/sim_time.h \
+ /root/repo/src/../src/sim/network.h /root/repo/src/../src/common/rng.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /usr/include/c++/12/cstddef \
  /root/repo/src/../src/workload/workload_spec.h \
@@ -238,7 +235,8 @@ examples/CMakeFiles/fabricsim_cli.dir/fabricsim_cli.cc.o: \
  /root/repo/src/../src/ledger/transaction.h \
  /root/repo/src/../src/ordering/block_cutter.h \
  /root/repo/src/../src/ordering/consensus.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h /root/repo/src/../src/peer/peer.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

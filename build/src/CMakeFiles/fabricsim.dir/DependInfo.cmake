@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/chaincode/stub.cc" "src/CMakeFiles/fabricsim.dir/chaincode/stub.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/stub.cc.o.d"
   "/root/repo/src/chaincode/supply_chain.cc" "src/CMakeFiles/fabricsim.dir/chaincode/supply_chain.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/supply_chain.cc.o.d"
   "/root/repo/src/client/client.cc" "src/CMakeFiles/fabricsim.dir/client/client.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/client/client.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/fabricsim.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/fabricsim.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/rng.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/CMakeFiles/fabricsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/stats.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/fabricsim.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fabricsim.dir/common/status.cc.o.d"

@@ -212,6 +212,11 @@ src/CMakeFiles/fabricsim.dir/chaincode/registry.cc.o: \
  /root/repo/src/../src/ledger/version.h \
  /root/repo/src/../src/statedb/rich_query.h \
  /root/repo/src/../src/statedb/state_database.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/chaincode/digital_voting.h \
  /root/repo/src/../src/chaincode/drm.h \
  /root/repo/src/../src/chaincode/ehr.h \

@@ -209,10 +209,7 @@ src/CMakeFiles/fabricsim.dir/core/runner.cc.o: \
  /root/repo/src/../src/ledger/version.h \
  /root/repo/src/../src/statedb/rich_query.h \
  /root/repo/src/../src/statedb/state_database.h \
- /root/repo/src/../src/fabric/network_config.h \
- /root/repo/src/../src/common/sim_time.h \
- /root/repo/src/../src/sim/network.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -222,11 +219,11 @@ src/CMakeFiles/fabricsim.dir/core/runner.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/../src/common/rng.h \
+ /root/repo/src/../src/fabric/network_config.h \
+ /root/repo/src/../src/common/sim_time.h \
+ /root/repo/src/../src/sim/network.h /root/repo/src/../src/common/rng.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /usr/include/c++/12/cstddef \
  /root/repo/src/../src/workload/workload_spec.h \
@@ -237,7 +234,8 @@ src/CMakeFiles/fabricsim.dir/core/runner.cc.o: \
  /root/repo/src/../src/ledger/transaction.h \
  /root/repo/src/../src/ordering/block_cutter.h \
  /root/repo/src/../src/ordering/consensus.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h /root/repo/src/../src/peer/peer.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
@@ -251,7 +249,19 @@ src/CMakeFiles/fabricsim.dir/core/runner.cc.o: \
  /root/repo/src/../src/workload/workload_generator.h \
  /root/repo/src/../src/ledger/ledger_parser.h \
  /root/repo/src/../src/ledger/block_store.h \
- /root/repo/src/../src/fabric/fabric_network.h \
+ /root/repo/src/../src/common/parallel.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/../src/fabric/fabric_network.h \
  /root/repo/src/../src/ext/fabricpp/reorderer.h \
  /root/repo/src/../src/ext/fabricsharp/fabricsharp.h \
  /root/repo/src/../src/ext/fabricsharp/dependency_tracker.h \

@@ -221,14 +221,13 @@ src/CMakeFiles/fabricsim.dir/ext/fabricsharp/fabricsharp.cc.o: \
  /root/repo/src/../src/fabric/network_config.h \
  /usr/include/c++/12/optional /root/repo/src/../src/sim/network.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /usr/include/c++/12/cstddef \
  /root/repo/src/../src/ordering/block_cutter.h \
  /root/repo/src/../src/ordering/consensus.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h \
  /root/repo/src/../src/policy/endorsement_policy.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \

@@ -148,9 +148,7 @@ src/CMakeFiles/fabricsim.dir/ext/streamchain/streamchain.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/common/rng.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /usr/include/c++/12/cstddef /root/repo/src/../src/ledger/rwset.h \
  /root/repo/src/../src/ledger/version.h

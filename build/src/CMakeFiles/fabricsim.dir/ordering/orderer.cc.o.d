@@ -213,9 +213,7 @@ src/CMakeFiles/fabricsim.dir/ordering/orderer.cc.o: \
  /usr/include/c++/12/optional /root/repo/src/../src/common/sim_time.h \
  /root/repo/src/../src/sim/network.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /usr/include/c++/12/cstddef /root/repo/src/../src/ledger/rwset.h \
  /root/repo/src/../src/ledger/version.h \
@@ -223,6 +221,7 @@ src/CMakeFiles/fabricsim.dir/ordering/orderer.cc.o: \
  /root/repo/src/../src/ledger/transaction.h \
  /root/repo/src/../src/ordering/block_cutter.h \
  /root/repo/src/../src/ordering/consensus.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

@@ -223,9 +223,7 @@ src/CMakeFiles/fabricsim.dir/peer/peer.cc.o: /root/repo/src/peer/peer.cc \
  /root/repo/src/../src/common/sim_time.h \
  /root/repo/src/../src/sim/network.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /usr/include/c++/12/cstddef /root/repo/src/../src/peer/committer.h \
  /root/repo/src/../src/peer/endorser.h \
@@ -235,7 +233,8 @@ src/CMakeFiles/fabricsim.dir/peer/peer.cc.o: /root/repo/src/peer/peer.cc \
  /root/repo/src/../src/policy/endorsement_policy.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

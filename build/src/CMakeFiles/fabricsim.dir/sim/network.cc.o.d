@@ -105,7 +105,5 @@ src/CMakeFiles/fabricsim.dir/sim/network.cc.o: \
  /usr/include/c++/12/bits/std_abs.h /root/repo/src/../src/common/rng.h \
  /root/repo/src/../src/common/sim_time.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

@@ -143,6 +143,5 @@ src/CMakeFiles/fabricsim.dir/sim/work_queue.cc.o: \
  /root/repo/src/../src/common/stats.h /usr/include/c++/12/cstddef \
  /root/repo/src/../src/sim/environment.h \
  /root/repo/src/../src/common/rng.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
+ /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/integration_test.cc.o.d"
   "/root/repo/tests/ledger_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/ledger_test.cc.o.d"
   "/root/repo/tests/orderer_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/orderer_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/orderer_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/parallel_test.cc.o.d"
   "/root/repo/tests/peer_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/peer_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/peer_test.cc.o.d"
   "/root/repo/tests/policy_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/policy_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/policy_test.cc.o.d"
   "/root/repo/tests/property_test.cc" "tests/CMakeFiles/fabricsim_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/fabricsim_tests.dir/property_test.cc.o.d"

@@ -306,9 +306,7 @@ tests/CMakeFiles/fabricsim_tests.dir/core_test.cc.o: \
  /root/repo/src/../src/common/sim_time.h \
  /root/repo/src/../src/sim/network.h /root/repo/src/../src/common/rng.h \
  /root/repo/src/../src/sim/environment.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/statedb/latency_profile.h \
  /root/repo/src/../src/workload/workload_spec.h \
  /root/repo/src/../src/core/recommendations.h \
@@ -319,7 +317,8 @@ tests/CMakeFiles/fabricsim_tests.dir/core_test.cc.o: \
  /root/repo/src/../src/ledger/transaction.h \
  /root/repo/src/../src/ordering/block_cutter.h \
  /root/repo/src/../src/ordering/consensus.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h /root/repo/src/../src/peer/peer.h \
  /root/repo/src/../src/peer/committer.h \
  /root/repo/src/../src/peer/endorser.h \
@@ -328,4 +327,5 @@ tests/CMakeFiles/fabricsim_tests.dir/core_test.cc.o: \
  /root/repo/src/../src/workload/workload_generator.h \
  /root/repo/src/../src/ledger/ledger_parser.h \
  /root/repo/src/../src/ledger/block_store.h \
- /root/repo/src/../src/core/runner.h /root/repo/src/../src/core/sweeps.h
+ /root/repo/src/../src/core/runner.h /root/repo/src/../src/core/sweeps.h \
+ /root/repo/src/../src/policy/policy_presets.h

@@ -296,9 +296,8 @@ tests/CMakeFiles/fabricsim_tests.dir/sim_test.cc.o: \
  /root/repo/src/../src/sim/environment.h \
  /root/repo/src/../src/common/rng.h \
  /root/repo/src/../src/common/sim_time.h \
- /root/repo/src/../src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/../src/sim/event_queue.h \
  /root/repo/src/../src/sim/network.h \
- /root/repo/src/../src/sim/work_queue.h \
+ /root/repo/src/../src/sim/work_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/common/stats.h

@@ -1,0 +1,129 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace fabricsim {
+
+namespace {
+
+int ClampJobs(int jobs) { return jobs < 1 ? 1 : jobs; }
+
+int ReadJobsFromEnv() {
+  if (const char* env = std::getenv("FABRICSIM_JOBS")) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// 0 = not yet initialized from the environment.
+std::atomic<int> g_jobs{0};
+
+}  // namespace
+
+int ParallelJobs() {
+  int jobs = g_jobs.load(std::memory_order_relaxed);
+  if (jobs == 0) {
+    jobs = ReadJobsFromEnv();
+    g_jobs.store(jobs, std::memory_order_relaxed);
+  }
+  return jobs;
+}
+
+void SetParallelJobs(int jobs) {
+  g_jobs.store(ClampJobs(jobs), std::memory_order_relaxed);
+}
+
+int ParallelJobsFromEnv() {
+  int jobs = ReadJobsFromEnv();
+  g_jobs.store(jobs, std::memory_order_relaxed);
+  return jobs;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = ClampJobs(num_threads);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(job));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  jobs = ClampJobs(jobs);
+  if (jobs == 1 || n == 1) {
+    // Historical serial path: in order, first exception escapes.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One exception slot per index; no locking needed since each job
+  // writes only its own slot.
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(jobs), n)));
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&fn, &errors, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace fabricsim

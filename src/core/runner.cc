@@ -1,7 +1,10 @@
 #include "src/core/runner.h"
 
 #include <memory>
+#include <optional>
+#include <utility>
 
+#include "src/common/parallel.h"
 #include "src/fabric/fabric_network.h"
 #include "src/workload/paper_workloads.h"
 
@@ -33,17 +36,58 @@ Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed) {
                             config.duration);
 }
 
-Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
-  ExperimentResult result;
-  int reps = config.repetitions < 1 ? 1 : config.repetitions;
-  for (int i = 0; i < reps; ++i) {
-    Result<FailureReport> report =
-        RunOnce(config, config.base_seed + static_cast<uint64_t>(i));
-    if (!report.ok()) return report.status();
-    result.repetitions.push_back(std::move(report).value());
+namespace {
+
+/// One (config, repetition) unit of the flat job list.
+struct RepetitionJob {
+  const ExperimentConfig* config;
+  size_t config_index;
+  uint64_t seed;
+};
+
+}  // namespace
+
+Result<std::vector<ExperimentResult>> RunExperiments(
+    const std::vector<ExperimentConfig>& configs) {
+  // Flatten points x repetitions so the pool sees every independent
+  // DES instance at once.
+  std::vector<RepetitionJob> jobs;
+  for (size_t c = 0; c < configs.size(); ++c) {
+    const ExperimentConfig& config = configs[c];
+    int reps = config.repetitions < 1 ? 1 : config.repetitions;
+    for (int r = 0; r < reps; ++r) {
+      jobs.push_back(RepetitionJob{&config, c,
+                                   config.base_seed + static_cast<uint64_t>(r)});
+    }
   }
-  result.mean = FailureReport::Average(result.repetitions);
-  return result;
+
+  // Each job writes only its own pre-sized slot; slot order (config,
+  // then repetition) is fixed up front, so assembly below is
+  // independent of worker scheduling.
+  std::vector<std::optional<Result<FailureReport>>> slots(jobs.size());
+  ParallelFor(jobs.size(), ParallelJobs(), [&](size_t i) {
+    slots[i] = RunOnce(*jobs[i].config, jobs[i].seed);
+  });
+
+  std::vector<ExperimentResult> results(configs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    Result<FailureReport>& report = *slots[i];
+    // Slots are scanned in (config, repetition) order, so the first
+    // error seen here is the first error the serial loop would hit.
+    if (!report.ok()) return report.status();
+    results[jobs[i].config_index].repetitions.push_back(
+        std::move(report).value());
+  }
+  for (ExperimentResult& result : results) {
+    result.mean = FailureReport::Average(result.repetitions);
+  }
+  return results;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  Result<std::vector<ExperimentResult>> results = RunExperiments({config});
+  if (!results.ok()) return results.status();
+  return std::move(results.value().front());
 }
 
 }  // namespace fabricsim

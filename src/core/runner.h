@@ -17,8 +17,22 @@ struct ExperimentResult {
 
 /// Runs one experiment: builds a fresh network per repetition (seeds
 /// base_seed, base_seed+1, ...), drives the load, drains the pipeline
-/// and parses the blockchain. Deterministic for a given config.
+/// and parses the blockchain. Repetitions fan out over ParallelJobs()
+/// worker threads (FABRICSIM_JOBS env knob; 1 = serial); each
+/// repetition owns its seed, Environment and network, and results land
+/// in pre-sized slots, so the output is bitwise identical to the
+/// serial run. Deterministic for a given config.
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+/// Runs a batch of experiments (e.g. the points of a sweep) as ONE
+/// flat (config, repetition) job list fanned out over ParallelJobs()
+/// threads — so a 5-point x 3-repetition sweep exposes 15 independent
+/// jobs instead of 3 at a time. Results are order-preserving:
+/// out[i] corresponds to configs[i]. On failure, returns the error of
+/// the lexicographically first failing (config, repetition), which is
+/// exactly the error the serial loop would have hit first.
+Result<std::vector<ExperimentResult>> RunExperiments(
+    const std::vector<ExperimentConfig>& configs);
 
 /// Single-repetition convenience used by tests and examples.
 Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed);

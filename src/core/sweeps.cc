@@ -1,17 +1,26 @@
 #include "src/core/sweeps.h"
 
+#include <utility>
+
 namespace fabricsim {
 
 std::vector<uint32_t> DefaultBlockSizes() { return {10, 25, 50, 100, 200}; }
 
 Result<std::vector<BlockSizePoint>> SweepBlockSizes(
     ExperimentConfig config, const std::vector<uint32_t>& sizes) {
-  std::vector<BlockSizePoint> points;
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(sizes.size());
   for (uint32_t size : sizes) {
     config.fabric.block_size = size;
-    Result<ExperimentResult> result = RunExperiment(config);
-    if (!result.ok()) return result.status();
-    points.push_back(BlockSizePoint{size, std::move(result).value().mean});
+    configs.push_back(config);
+  }
+  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
+  if (!results.ok()) return results.status();
+  std::vector<BlockSizePoint> points;
+  points.reserve(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    points.push_back(
+        BlockSizePoint{sizes[i], std::move(results.value()[i].mean)});
   }
   return points;
 }
@@ -41,12 +50,56 @@ Result<BlockSizeSearch> FindBestBlockSize(ExperimentConfig config,
 
 Result<std::vector<RatePoint>> SweepArrivalRates(
     ExperimentConfig config, const std::vector<double>& rates) {
-  std::vector<RatePoint> points;
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(rates.size());
   for (double rate : rates) {
     config.arrival_rate_tps = rate;
-    Result<ExperimentResult> result = RunExperiment(config);
-    if (!result.ok()) return result.status();
-    points.push_back(RatePoint{rate, std::move(result).value().mean});
+    configs.push_back(config);
+  }
+  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
+  if (!results.ok()) return results.status();
+  std::vector<RatePoint> points;
+  points.reserve(rates.size());
+  for (size_t i = 0; i < rates.size(); ++i) {
+    points.push_back(RatePoint{rates[i], std::move(results.value()[i].mean)});
+  }
+  return points;
+}
+
+Result<std::vector<OrgCountPoint>> SweepOrgCounts(
+    ExperimentConfig config, const std::vector<int>& org_counts) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(org_counts.size());
+  for (int orgs : org_counts) {
+    config.fabric.cluster.num_orgs = orgs;
+    configs.push_back(config);
+  }
+  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
+  if (!results.ok()) return results.status();
+  std::vector<OrgCountPoint> points;
+  points.reserve(org_counts.size());
+  for (size_t i = 0; i < org_counts.size(); ++i) {
+    points.push_back(
+        OrgCountPoint{org_counts[i], std::move(results.value()[i].mean)});
+  }
+  return points;
+}
+
+Result<std::vector<PolicyPoint>> SweepPolicyPresets(
+    ExperimentConfig config, const std::vector<PolicyPreset>& presets) {
+  std::vector<PolicyPoint> points(presets.size());
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(presets.size());
+  for (size_t i = 0; i < presets.size(); ++i) {
+    points[i].preset = presets[i];
+    points[i].policy = MakePolicy(presets[i], config.fabric.cluster.num_orgs);
+    config.fabric.policy_text = points[i].policy.ToString();
+    configs.push_back(config);
+  }
+  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
+  if (!results.ok()) return results.status();
+  for (size_t i = 0; i < presets.size(); ++i) {
+    points[i].report = std::move(results.value()[i].mean);
   }
   return points;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/runner.h"
+#include "src/policy/policy_presets.h"
 
 namespace fabricsim {
 
@@ -17,7 +18,10 @@ struct BlockSizePoint {
   FailureReport report;
 };
 
-/// Runs `config` at each block size (everything else fixed).
+/// Runs `config` at each block size (everything else fixed). All
+/// sweeps fan (points x repetitions) out as one flat job list over
+/// ParallelJobs() threads; output order and values are bitwise
+/// identical to the serial FABRICSIM_JOBS=1 run.
 Result<std::vector<BlockSizePoint>> SweepBlockSizes(
     ExperimentConfig config, const std::vector<uint32_t>& sizes);
 
@@ -43,6 +47,28 @@ struct RatePoint {
 
 Result<std::vector<RatePoint>> SweepArrivalRates(
     ExperimentConfig config, const std::vector<double>& rates);
+
+/// One point of an organization-count sweep (paper Fig. 12).
+struct OrgCountPoint {
+  int num_orgs = 0;
+  FailureReport report;
+};
+
+/// Runs `config` at each organization count (peers per org fixed).
+Result<std::vector<OrgCountPoint>> SweepOrgCounts(
+    ExperimentConfig config, const std::vector<int>& org_counts);
+
+/// One point of an endorsement-policy sweep (paper Fig. 13 / Table 5).
+struct PolicyPoint {
+  PolicyPreset preset = PolicyPreset::kP0AllOrgs;
+  EndorsementPolicy policy;
+  FailureReport report;
+};
+
+/// Runs `config` under each policy preset, instantiated for the
+/// config's organization count.
+Result<std::vector<PolicyPoint>> SweepPolicyPresets(
+    ExperimentConfig config, const std::vector<PolicyPreset>& presets);
 
 }  // namespace fabricsim
 

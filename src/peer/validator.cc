@@ -59,10 +59,12 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
       r.version = it->second.version;
       return r;
     }
-    std::optional<VersionedValue> vv = db.Get(key);
-    if (vv.has_value()) {
+    // Version-only lookup: MVCC compares versions, so copying the
+    // value payload out of the store would be pure waste here.
+    std::optional<Version> version = db.GetVersion(key);
+    if (version.has_value()) {
       r.exists = true;
-      r.version = vv->version;
+      r.version = *version;
     }
     return r;
   };
@@ -97,9 +99,11 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
     if (!rq.phantom_check) continue;  // rich queries are not re-checked
     // Merge the database range with the block-local overlay.
     std::map<std::string, Version> current_range;
-    for (const StateEntry& e : db.GetRange(rq.start_key, rq.end_key)) {
-      current_range[e.key] = e.vv.version;
-    }
+    db.ForEachVersionInRange(
+        rq.start_key, rq.end_key,
+        [&current_range](const std::string& key, Version version) {
+          current_range[key] = version;
+        });
     bool overlay_dirty = false;
     for (const auto& [key, entry] : overlay) {
       if (key < rq.start_key) continue;

@@ -1,20 +1,26 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace fabricsim {
 
+namespace {
+// Pre-sized on first use: even small simulations schedule thousands of
+// events, so skipping the early geometric regrowths is free.
+constexpr size_t kInitialCapacity = 1024;
+}  // namespace
+
 void EventQueue::Push(SimTime time, std::function<void()> action) {
-  heap_.push(Event{time, next_seq_++, std::move(action)});
+  if (heap_.capacity() == 0) heap_.reserve(kInitialCapacity);
+  heap_.push_back(Event{time, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Compare{});
 }
 
-SimTime EventQueue::PeekTime() const { return heap_.top().time; }
-
 Event EventQueue::Pop() {
-  // priority_queue::top() returns const&; move via const_cast is safe
-  // because we pop immediately afterwards.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Compare{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   return ev;
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -19,7 +18,11 @@ struct Event {
   std::function<void()> action;
 };
 
-/// Min-heap of events ordered by (time, seq).
+/// Min-heap of events ordered by (time, seq). Implemented directly on
+/// a reserved std::vector (rather than std::priority_queue) so the
+/// hot Push/Pop path can pre-size the storage and move events out of
+/// the heap without const_cast tricks — every simulated message is a
+/// Push+Pop, so std::function copies here dominate the DES overhead.
 class EventQueue {
  public:
   /// Schedules `action` at absolute simulated time `time`.
@@ -29,19 +32,22 @@ class EventQueue {
   size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event. Must not be empty.
-  SimTime PeekTime() const;
+  SimTime PeekTime() const { return heap_.front().time; }
 
   /// Removes and returns the earliest event. Must not be empty.
   Event Pop();
 
  private:
   struct Compare {
+    // push_heap/pop_heap build a max-heap, so "greater" keeps the
+    // earliest (time, seq) at the front — identical ordering to the
+    // previous std::priority_queue.
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+  std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
 };
 

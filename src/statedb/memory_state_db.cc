@@ -8,6 +8,13 @@ std::optional<VersionedValue> MemoryStateDb::Get(const std::string& key) const {
   return it->second;
 }
 
+std::optional<Version> MemoryStateDb::GetVersion(
+    const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second.version;
+}
+
 std::vector<StateEntry> MemoryStateDb::GetRange(
     const std::string& start_key, const std::string& end_key) const {
   std::vector<StateEntry> out;
@@ -17,6 +24,15 @@ std::vector<StateEntry> MemoryStateDb::GetRange(
     out.push_back(StateEntry{it->first, it->second});
   }
   return out;
+}
+
+void MemoryStateDb::ForEachVersionInRange(
+    const std::string& start_key, const std::string& end_key,
+    const std::function<void(const std::string& key, Version version)>& fn)
+    const {
+  auto it = map_.lower_bound(start_key);
+  auto end = end_key.empty() ? map_.end() : map_.lower_bound(end_key);
+  for (; it != end; ++it) fn(it->first, it->second.version);
 }
 
 Status MemoryStateDb::ApplyWrite(const WriteItem& write, Version version) {

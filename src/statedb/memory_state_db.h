@@ -15,8 +15,13 @@ namespace fabricsim {
 class MemoryStateDb : public StateDatabase {
  public:
   std::optional<VersionedValue> Get(const std::string& key) const override;
+  std::optional<Version> GetVersion(const std::string& key) const override;
   std::vector<StateEntry> GetRange(const std::string& start_key,
                                    const std::string& end_key) const override;
+  void ForEachVersionInRange(
+      const std::string& start_key, const std::string& end_key,
+      const std::function<void(const std::string& key, Version version)>& fn)
+      const override;
   Status ApplyWrite(const WriteItem& write, Version version) override;
   size_t Size() const override { return map_.size(); }
   std::vector<StateEntry> Scan() const override;

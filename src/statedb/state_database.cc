@@ -1,5 +1,21 @@
 #include "src/statedb/state_database.h"
 
 namespace fabricsim {
-// Interface only; factory lives in memory_state_db.cc.
+
+std::optional<Version> StateDatabase::GetVersion(
+    const std::string& key) const {
+  std::optional<VersionedValue> vv = Get(key);
+  if (!vv.has_value()) return std::nullopt;
+  return vv->version;
+}
+
+void StateDatabase::ForEachVersionInRange(
+    const std::string& start_key, const std::string& end_key,
+    const std::function<void(const std::string& key, Version version)>& fn)
+    const {
+  for (const StateEntry& e : GetRange(start_key, end_key)) {
+    fn(e.key, e.vv.version);
+  }
+}
+
 }  // namespace fabricsim

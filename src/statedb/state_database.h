@@ -1,6 +1,7 @@
 #ifndef FABRICSIM_STATEDB_STATE_DATABASE_H_
 #define FABRICSIM_STATEDB_STATE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,11 +40,25 @@ class StateDatabase {
   /// Point lookup. nullopt when the key does not exist.
   virtual std::optional<VersionedValue> Get(const std::string& key) const = 0;
 
+  /// Version-only point lookup. The validator's MVCC check only
+  /// compares versions, so this avoids copying the value payload on
+  /// the hottest read path. Default delegates to Get(); backends
+  /// should override with a copy-free lookup.
+  virtual std::optional<Version> GetVersion(const std::string& key) const;
+
   /// Range scan over [start_key, end_key), in key order. An empty
   /// end_key means "to the end of the key space" (Fabric semantics).
   virtual std::vector<StateEntry> GetRange(const std::string& start_key,
                                            const std::string& end_key)
       const = 0;
+
+  /// Version-only range iteration over [start_key, end_key), in key
+  /// order, used by the validator's phantom-read re-scan — no key or
+  /// value strings are materialized. Default delegates to GetRange().
+  virtual void ForEachVersionInRange(
+      const std::string& start_key, const std::string& end_key,
+      const std::function<void(const std::string& key, Version version)>& fn)
+      const;
 
   /// Applies one write (upsert or delete) committed at `version`.
   virtual Status ApplyWrite(const WriteItem& write, Version version) = 0;

@@ -1,0 +1,236 @@
+#include "src/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/core/sweeps.h"
+
+namespace fabricsim {
+namespace {
+
+// Saves and restores the global job count so tests can flip it freely.
+class JobsGuard {
+ public:
+  JobsGuard() : saved_(ParallelJobs()) {}
+  ~JobsGuard() { SetParallelJobs(saved_); }
+
+ private:
+  int saved_;
+};
+
+// ------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    // No Wait(): the destructor must drain before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitIsReusableBetweenBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 11);
+}
+
+// ------------------------------------------------------ ParallelFor
+
+TEST(ParallelForTest, EmptyJobListIsANoOp) {
+  int calls = 0;
+  ParallelFor(0, 4, [&calls](size_t) { ++calls; });
+  ParallelFor(0, 1, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnceWithMoreJobsThanThreads) {
+  constexpr size_t kN = 257;  // deliberately not a multiple of the pool size
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, 4, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelMapTest, PreservesSlotOrder) {
+  std::vector<int> out =
+      ParallelMap<int>(100, 8, [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromJob) {
+  auto throwing = [](size_t i) {
+    if (i == 7) throw std::runtime_error("job 7 failed");
+  };
+  EXPECT_THROW(ParallelFor(32, 4, throwing), std::runtime_error);
+  EXPECT_THROW(ParallelFor(32, 1, throwing), std::runtime_error);
+}
+
+TEST(ParallelForTest, RethrowsLowestIndexException) {
+  // All jobs throw; the serial path fails at index 0 first, and the
+  // parallel path must surface the same (lowest-index) error.
+  for (int jobs : {1, 4}) {
+    try {
+      ParallelFor(16, jobs, [](size_t i) {
+        throw std::runtime_error("job " + std::to_string(i));
+      });
+      FAIL() << "expected an exception at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 0") << "jobs=" << jobs;
+    }
+  }
+}
+
+// -------------------------------------------- Determinism regression
+//
+// The headline guarantee of the parallel runner: FABRICSIM_JOBS=N
+// produces bitwise-identical per-repetition reports to the serial
+// path, which in turn matches per-seed RunOnce calls.
+
+ExperimentConfig SmallC1() {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 5 * kSecond;
+  config.arrival_rate_tps = 40;
+  config.repetitions = 3;
+  return config;
+}
+
+ExperimentConfig SmallC2() {
+  ExperimentConfig config = ExperimentConfig::DefaultsC2();
+  config.duration = 4 * kSecond;
+  config.arrival_rate_tps = 30;
+  config.repetitions = 2;
+  return config;
+}
+
+// Field-for-field exact equality: doubles must match bit-for-bit,
+// since every repetition is a deterministic function of (config, seed).
+void ExpectReportsIdentical(const FailureReport& a, const FailureReport& b) {
+  EXPECT_EQ(a.ledger_txs, b.ledger_txs);
+  EXPECT_EQ(a.valid_txs, b.valid_txs);
+  EXPECT_EQ(a.endorsement_failures, b.endorsement_failures);
+  EXPECT_EQ(a.mvcc_intra, b.mvcc_intra);
+  EXPECT_EQ(a.mvcc_inter, b.mvcc_inter);
+  EXPECT_EQ(a.phantom, b.phantom);
+  EXPECT_EQ(a.reorder_aborts, b.reorder_aborts);
+  EXPECT_EQ(a.early_aborts, b.early_aborts);
+  EXPECT_EQ(a.submitted_txs, b.submitted_txs);
+  EXPECT_EQ(a.app_errors, b.app_errors);
+  EXPECT_EQ(a.total_failure_pct, b.total_failure_pct);
+  EXPECT_EQ(a.endorsement_pct, b.endorsement_pct);
+  EXPECT_EQ(a.mvcc_intra_pct, b.mvcc_intra_pct);
+  EXPECT_EQ(a.mvcc_inter_pct, b.mvcc_inter_pct);
+  EXPECT_EQ(a.mvcc_pct, b.mvcc_pct);
+  EXPECT_EQ(a.phantom_pct, b.phantom_pct);
+  EXPECT_EQ(a.reorder_abort_pct, b.reorder_abort_pct);
+  EXPECT_EQ(a.early_abort_pct, b.early_abort_pct);
+  EXPECT_EQ(a.avg_latency_s, b.avg_latency_s);
+  EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.committed_throughput_tps, b.committed_throughput_tps);
+  EXPECT_EQ(a.valid_throughput_tps, b.valid_throughput_tps);
+}
+
+void CheckParallelMatchesSerial(const ExperimentConfig& config) {
+  JobsGuard guard;
+
+  // Ground truth: one RunOnce per seed, fully serial.
+  std::vector<FailureReport> expected;
+  for (int i = 0; i < config.repetitions; ++i) {
+    Result<FailureReport> report =
+        RunOnce(config, config.base_seed + static_cast<uint64_t>(i));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    expected.push_back(std::move(report).value());
+  }
+
+  for (int jobs : {1, 4}) {
+    SetParallelJobs(jobs);
+    Result<ExperimentResult> result = RunExperiment(config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().repetitions.size(), expected.size())
+        << "jobs=" << jobs;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) + " repetition=" +
+                   std::to_string(i));
+      ExpectReportsIdentical(expected[i], result.value().repetitions[i]);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, C1RepetitionsMatchSerialRunOnce) {
+  CheckParallelMatchesSerial(SmallC1());
+}
+
+TEST(ParallelDeterminismTest, C2RepetitionsMatchSerialRunOnce) {
+  CheckParallelMatchesSerial(SmallC2());
+}
+
+TEST(ParallelDeterminismTest, SweepIsIdenticalAcrossJobCounts) {
+  JobsGuard guard;
+  ExperimentConfig config = SmallC1();
+  config.repetitions = 2;
+  const std::vector<uint32_t> sizes = {10, 50, 100};
+
+  SetParallelJobs(1);
+  Result<std::vector<BlockSizePoint>> serial = SweepBlockSizes(config, sizes);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  SetParallelJobs(4);
+  Result<std::vector<BlockSizePoint>> parallel =
+      SweepBlockSizes(config, sizes);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(serial.value().size(), parallel.value().size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    SCOPED_TRACE("block size " + std::to_string(sizes[i]));
+    EXPECT_EQ(serial.value()[i].block_size, parallel.value()[i].block_size);
+    ExpectReportsIdentical(serial.value()[i].report,
+                           parallel.value()[i].report);
+  }
+}
+
+TEST(ParallelDeterminismTest, ErrorsMatchSerialFirstFailure) {
+  JobsGuard guard;
+  ExperimentConfig config = SmallC1();
+  config.workload.chaincode = "bogus";
+  SetParallelJobs(4);
+  Result<ExperimentResult> result = RunExperiment(config);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace fabricsim
