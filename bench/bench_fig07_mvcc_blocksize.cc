@@ -11,15 +11,25 @@ int main() {
          "dependencies); inter-block conflicts decrease (conflicts land "
          "inside the block instead of across blocks)");
 
+  ExperimentConfig base = Tuned(ExperimentConfig::Builder()
+                                    .Cluster(ClusterConfig::C2())
+                                    .RateTps(100)
+                                    .Build());
+  // One flat (block-size, seed) job list over FABRICSIM_JOBS workers.
+  Result<std::vector<SweepPoint>> points =
+      RunSweep(base, BlockSizeSweepSpec(DefaultBlockSizes()));
+  if (!points.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
   std::printf("%10s %14s %14s %14s\n", "block size", "inter-block%",
               "intra-block%", "total mvcc%");
-  for (uint32_t bs : {10u, 25u, 50u, 100u, 200u}) {
-    ExperimentConfig config = BaseC2(100);
-    config.fabric.block_size = bs;
-    FailureReport r = MustRun(config);
-    std::printf("%10u %14.2f %14.2f %14.2f\n", bs, r.mvcc_inter_pct,
-                r.mvcc_intra_pct, r.mvcc_pct);
-    std::fflush(stdout);
+  for (const SweepPoint& point : points.value()) {
+    std::printf("%10.0f %14.2f %14.2f %14.2f\n", point.value,
+                point.report.mvcc_inter_pct, point.report.mvcc_intra_pct,
+                point.report.mvcc_pct);
   }
   return 0;
 }

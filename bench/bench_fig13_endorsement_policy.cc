@@ -13,8 +13,12 @@ int main() {
          "signature counts; sub-policies also increase latency");
 
   // One flat (policy, seed) job list over FABRICSIM_JOBS workers.
+  ExperimentConfig base = Tuned(ExperimentConfig::Builder()
+                                    .Cluster(ClusterConfig::C2())
+                                    .RateTps(100)
+                                    .Build());
   Result<std::vector<PolicyPoint>> points = SweepPolicyPresets(
-      BaseC2(100),
+      base,
       {PolicyPreset::kP0AllOrgs, PolicyPreset::kP1OrgZeroPlusAny,
        PolicyPreset::kP2OneFromEachHalf, PolicyPreset::kP3Quorum});
   if (!points.ok()) {

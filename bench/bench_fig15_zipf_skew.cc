@@ -12,10 +12,13 @@ int main() {
 
   std::printf("%6s %12s %12s\n", "skew", "total%", "mvcc%");
   for (double skew : {0.0, 1.0, 2.0}) {
-    ExperimentConfig config = BaseC2(100);
-    config.workload.chaincode = "genchain";
-    config.workload.mix = WorkloadMix::kUpdateHeavy;
-    config.workload.zipf_skew = skew;
+    ExperimentConfig config = Tuned(ExperimentConfig::Builder()
+                                        .Cluster(ClusterConfig::C2())
+                                        .RateTps(100)
+                                        .Chaincode("genchain")
+                                        .Mix(WorkloadMix::kUpdateHeavy)
+                                        .ZipfSkew(skew)
+                                        .Build());
     // The paper's skew experiment uses a reduced key space so that
     // skew-0 is measurable; 100k keys with uniform access would show
     // no conflicts at all.

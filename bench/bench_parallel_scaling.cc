@@ -45,6 +45,7 @@ int main() {
   if (hw > 4) job_counts.push_back(static_cast<int>(hw));
 
   JsonWriter json("parallel_scaling");
+  json.Config(config);
   std::printf("%8s %12s %10s %10s\n", "jobs", "wall(ms)", "speedup",
               "identical");
 

@@ -12,6 +12,7 @@
 #include "src/common/parallel.h"
 #include "src/core/runner.h"
 #include "src/core/sweeps.h"
+#include "src/obs/json_writer.h"
 
 namespace fabricsim {
 namespace bench {
@@ -78,51 +79,47 @@ inline double NowMs() {
 }
 
 /// Accumulates machine-readable bench rows and writes them to
-/// BENCH_<name>.json (a JSON array) in the working directory on
-/// Flush()/destruction. One row per measured point:
-///   {"figure": ..., "point": ..., "seed": ..., "wall_ms": ...,
-///    "failure_pct": ...}
+/// BENCH_<name>.json in the working directory on Flush()/destruction.
+/// The file is a versioned document (VersionedJsonWriter::kDocument):
+///   {"schema_version": N, "kind": "bench.<name>", "config": "...",
+///    "rows": [ {"figure": ..., "point": ..., "seed": ...,
+///               "wall_ms": ..., "failure_pct": ...}, ... ]}
 /// so perf trajectories can be tracked across commits without
-/// scraping stdout.
+/// scraping stdout, and every artifact self-describes its layout.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::string name) : name_(std::move(name)) {}
+  explicit JsonWriter(std::string name)
+      : name_(std::move(name)),
+        writer_("bench." + name_, VersionedJsonWriter::Format::kDocument) {}
   ~JsonWriter() { Flush(); }
+
+  /// Echoes the generating configuration in the document header.
+  void Config(const ExperimentConfig& config) {
+    writer_.set_config_echo(config.Describe());
+  }
 
   void Row(const std::string& figure, double point, uint64_t seed,
            double wall_ms, double failure_pct) {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "  {\"figure\": \"%s\", \"point\": %g, \"seed\": %llu, "
+                  "{\"figure\": \"%s\", \"point\": %g, \"seed\": %llu, "
                   "\"wall_ms\": %.3f, \"failure_pct\": %.4f}",
-                  figure.c_str(), point,
+                  JsonEscape(figure).c_str(), point,
                   static_cast<unsigned long long>(seed), wall_ms,
                   failure_pct);
-    rows_.push_back(buf);
+    writer_.AddRow(buf);
   }
 
   /// Writes all accumulated rows; safe to call more than once (later
   /// calls rewrite the file with the full row set).
   void Flush() {
-    if (rows_.empty()) return;
-    std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
-                   i + 1 < rows_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+    if (writer_.row_count() == 0) return;
+    writer_.WriteFile("BENCH_" + name_ + ".json");
   }
 
  private:
   std::string name_;
-  std::vector<std::string> rows_;
+  VersionedJsonWriter writer_;
 };
 
 }  // namespace bench

@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "src/obs/tracer.h"
+
 namespace fabricsim {
 
 Client::Client(Params params) : p_(std::move(params)) {}
@@ -28,6 +30,9 @@ void Client::SubmitOne() {
   PendingTx pending;
   pending.invocation = p_.workload->Next(p_.rng);
   pending.submit_time = p_.env->now();
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnClientSubmit(tx_id, pending.invocation.function, p_.env->now());
+  }
 
   // One endorsing peer per organization of a minimal policy-
   // satisfying set (service-discovery style), round-robin within the
@@ -48,6 +53,9 @@ void Client::SubmitOne() {
     request.tx_id = tx_id;
     request.invocation = in_flight_[tx_id].invocation;
     NodeId peer_node = peer->node();
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnEndorseRequest(tx_id, peer->id(), peer->org(), p_.env->now());
+    }
     request.reply = [this, peer_node](const ProposalResponse& response) {
       uint64_t bytes = response.rwset.ByteSize() + 96;
       // Large rw-sets (DV/SCM range scans) make responses heavy; ship
@@ -66,6 +74,10 @@ void Client::SubmitOne() {
 void Client::OnEndorsement(ProposalResponse response) {
   auto it = in_flight_.find(response.tx_id);
   if (it == in_flight_.end()) return;
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnEndorseResponse(response.tx_id, response.endorsement.peer_id,
+                              p_.env->now());
+  }
   it->second.responses.push_back(std::move(response));
   if (it->second.responses.size() < it->second.expected) return;
   PendingTx pending = std::move(it->second);
@@ -80,6 +92,9 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
   for (const ProposalResponse& r : pending.responses) {
     if (!r.app_ok) {
       ++p_.stats->app_errors;
+      if (Tracer* tracer = p_.env->tracer()) {
+        tracer->OnClientDrop(tx_id, TraceTerminal::kAppError, p_.env->now());
+      }
       return;
     }
   }
@@ -118,11 +133,18 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
     tx.endorsements.push_back(r.endorsement);
   }
   tx.read_only = tx.rwset.IsReadOnly();
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnEndorsed(tx_id, tx.read_only, p_.env->now());
+  }
 
   if (tx.read_only && !p_.submit_read_only) {
     // Recommendation #4: the query result is already known after the
     // execution phase; skip ordering.
     ++p_.stats->read_only_skipped;
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnClientDrop(tx_id, TraceTerminal::kReadOnlySkipped,
+                           p_.env->now());
+    }
     return;
   }
 

@@ -3,11 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "src/chaincode/chaincode.h"
 #include "src/common/status.h"
 #include "src/fabric/network_config.h"
+#include "src/policy/policy_presets.h"
 #include "src/workload/workload_spec.h"
 
 namespace fabricsim {
@@ -36,6 +39,112 @@ struct ExperimentConfig {
 
   /// One-line description for report headers.
   std::string Describe() const;
+
+  class Builder;
+};
+
+/// Fluent construction of experiment configurations, so a bench figure
+/// reads as one declarative expression:
+///
+///   ExperimentConfig config = ExperimentConfig::Builder()
+///                                 .Cluster(ClusterConfig::C2())
+///                                 .BlockSize(100)
+///                                 .RateTps(150)
+///                                 .Policy(PolicyPreset::kP3Quorum)
+///                                 .Build();
+///
+/// Starts from ExperimentConfig::Defaults(); every setter overrides
+/// one knob. Policy presets are resolved against the final
+/// organization count at Build() time, so Policy() and Cluster() may
+/// be called in either order.
+class ExperimentConfig::Builder {
+ public:
+  /// Starts from the paper's Table 3 defaults.
+  Builder() : config_(ExperimentConfig::Defaults()) {}
+  /// Starts from an existing configuration.
+  explicit Builder(ExperimentConfig base) : config_(std::move(base)) {}
+
+  Builder& Variant(FabricVariant variant) {
+    config_.fabric.variant = variant;
+    return *this;
+  }
+  Builder& Cluster(ClusterConfig cluster) {
+    config_.fabric.cluster = cluster;
+    return *this;
+  }
+  Builder& Database(DatabaseType db_type) {
+    config_.fabric.db_type = db_type;
+    return *this;
+  }
+  Builder& BlockSize(uint32_t block_size) {
+    config_.fabric.block_size = block_size;
+    return *this;
+  }
+  Builder& BlockTimeout(SimTime timeout) {
+    config_.fabric.block_timeout = timeout;
+    return *this;
+  }
+  /// Policy preset, instantiated for the final org count at Build().
+  Builder& Policy(PolicyPreset preset) {
+    policy_preset_ = preset;
+    return *this;
+  }
+  /// Raw policy text (PolicyParser grammar); overrides Policy().
+  Builder& PolicyText(std::string text) {
+    policy_preset_.reset();
+    config_.fabric.policy_text = std::move(text);
+    return *this;
+  }
+  Builder& Chaincode(std::string name) {
+    config_.workload.chaincode = std::move(name);
+    return *this;
+  }
+  Builder& Mix(WorkloadMix mix) {
+    config_.workload.mix = mix;
+    return *this;
+  }
+  Builder& ZipfSkew(double skew) {
+    config_.workload.zipf_skew = skew;
+    return *this;
+  }
+  Builder& RateTps(double tps) {
+    config_.arrival_rate_tps = tps;
+    return *this;
+  }
+  Builder& Duration(SimTime duration) {
+    config_.duration = duration;
+    return *this;
+  }
+  Builder& Repetitions(int repetitions) {
+    config_.repetitions = repetitions;
+    return *this;
+  }
+  Builder& Seed(uint64_t seed) {
+    config_.base_seed = seed;
+    return *this;
+  }
+  Builder& Tracing(bool on = true) {
+    config_.fabric.tracing = on;
+    return *this;
+  }
+  Builder& SubmitReadOnly(bool on) {
+    config_.fabric.submit_read_only = on;
+    return *this;
+  }
+
+  ExperimentConfig Build() const {
+    ExperimentConfig config = config_;
+    if (policy_preset_.has_value()) {
+      config.fabric.policy_text =
+          MakePolicy(*policy_preset_, config.fabric.cluster.num_orgs)
+              .ToString();
+    }
+    return config;
+  }
+
+ private:
+  ExperimentConfig config_;
+  std::optional<PolicyPreset> policy_preset_;
 };
 
 /// Instantiates the chaincode the workload refers to, with key-space

@@ -4,12 +4,14 @@
 
 #include "src/common/stats.h"
 #include "src/common/strings.h"
+#include "src/obs/tracer.h"
 
 namespace fabricsim {
 
 FailureReport BuildFailureReport(const BlockStore& ledger,
                                  const RunStats& stats,
-                                 SimTime load_duration) {
+                                 SimTime load_duration,
+                                 const Tracer* tracer) {
   FailureReport report;
   LedgerSummary summary = LedgerParser::Summarize(ledger);
   report.ledger_txs = summary.total;
@@ -75,6 +77,17 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
     report.valid_throughput_tps =
         static_cast<double>(summary.valid) / seconds;
   }
+
+  if (tracer != nullptr && tracer->phases().total.count() > 0) {
+    const PhaseHistograms& phases = tracer->phases();
+    report.has_phase_breakdown = true;
+    report.endorse_avg_s = phases.endorse.mean() / 1000.0;
+    report.endorse_p99_s = phases.endorse.Percentile(0.99) / 1000.0;
+    report.ordering_avg_s = phases.ordering.mean() / 1000.0;
+    report.ordering_p99_s = phases.ordering.Percentile(0.99) / 1000.0;
+    report.commit_avg_s = phases.commit.mean() / 1000.0;
+    report.commit_p99_s = phases.commit.Percentile(0.99) / 1000.0;
+  }
   return report;
 }
 
@@ -123,6 +136,17 @@ FailureReport FailureReport::Average(
       avg_d([](const auto& r) { return r.committed_throughput_tps; });
   mean.valid_throughput_tps =
       avg_d([](const auto& r) { return r.valid_throughput_tps; });
+  bool all_phases = true;
+  for (const FailureReport& r : reports) all_phases &= r.has_phase_breakdown;
+  if (all_phases) {
+    mean.has_phase_breakdown = true;
+    mean.endorse_avg_s = avg_d([](const auto& r) { return r.endorse_avg_s; });
+    mean.endorse_p99_s = avg_d([](const auto& r) { return r.endorse_p99_s; });
+    mean.ordering_avg_s = avg_d([](const auto& r) { return r.ordering_avg_s; });
+    mean.ordering_p99_s = avg_d([](const auto& r) { return r.ordering_p99_s; });
+    mean.commit_avg_s = avg_d([](const auto& r) { return r.commit_avg_s; });
+    mean.commit_p99_s = avg_d([](const auto& r) { return r.commit_p99_s; });
+  }
   return mean;
 }
 
@@ -150,6 +174,13 @@ std::string FailureReport::ToString() const {
       "committed, %.1f tps valid\n",
       avg_latency_s, p50_latency_s, p99_latency_s, committed_throughput_tps,
       valid_throughput_tps);
+  if (has_phase_breakdown) {
+    out += StrFormat(
+        "phases: endorse avg %.3fs p99 %.3fs | ordering avg %.3fs p99 %.3fs "
+        "| commit avg %.3fs p99 %.3fs\n",
+        endorse_avg_s, endorse_p99_s, ordering_avg_s, ordering_p99_s,
+        commit_avg_s, commit_p99_s);
+  }
   return out;
 }
 

@@ -9,6 +9,8 @@
 
 namespace fabricsim {
 
+class Tracer;
+
 /// Aggregated metrics of one run, computed by parsing the blockchain
 /// after the experiment (paper §4.5): failure percentages per type,
 /// average total transaction latency over successful *and* failed
@@ -46,6 +48,17 @@ struct FailureReport {
   double committed_throughput_tps = 0;  ///< ledger txs / duration
   double valid_throughput_tps = 0;      ///< valid txs / duration
 
+  /// Per-phase latency breakdown (execute / order / validate+commit),
+  /// only populated when the run had lifecycle tracing enabled. The
+  /// three phases telescope: endorse + ordering + commit = total.
+  bool has_phase_breakdown = false;
+  double endorse_avg_s = 0;
+  double endorse_p99_s = 0;
+  double ordering_avg_s = 0;
+  double ordering_p99_s = 0;
+  double commit_avg_s = 0;
+  double commit_p99_s = 0;
+
   /// Element-wise mean of several runs (the paper's >=3 repetitions).
   static FailureReport Average(const std::vector<FailureReport>& reports);
 
@@ -55,9 +68,13 @@ struct FailureReport {
 
 /// Builds the report from a parsed ledger plus the client-side
 /// counters. `load_duration` is the length of the submission phase.
+/// When `tracer` is non-null (run had tracing enabled), the report
+/// additionally carries the per-phase latency breakdown; a null tracer
+/// produces output identical to a build without the obs subsystem.
 FailureReport BuildFailureReport(const BlockStore& ledger,
                                  const RunStats& stats,
-                                 SimTime load_duration);
+                                 SimTime load_duration,
+                                 const Tracer* tracer = nullptr);
 
 }  // namespace fabricsim
 

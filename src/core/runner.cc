@@ -10,7 +10,16 @@
 
 namespace fabricsim {
 
-Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed) {
+namespace {
+
+/// Report + optional trace export of one (config, seed) run.
+struct RunArtifacts {
+  FailureReport report;
+  std::string trace_jsonl;  ///< empty unless config.fabric.tracing
+};
+
+Result<RunArtifacts> RunOnceArtifacts(const ExperimentConfig& config,
+                                      uint64_t seed) {
   Result<std::shared_ptr<Chaincode>> chaincode =
       MakeChaincodeFor(config.workload);
   if (!chaincode.ok()) return chaincode.status();
@@ -32,11 +41,14 @@ Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed) {
   FABRICSIM_RETURN_NOT_OK(network.Init());
   network.StartLoad(config.arrival_rate_tps, config.duration);
   env.RunAll();
-  return BuildFailureReport(network.ledger(), network.stats(),
-                            config.duration);
+  RunArtifacts artifacts;
+  artifacts.report = BuildFailureReport(network.ledger(), network.stats(),
+                                        config.duration, network.tracer());
+  if (network.tracer() != nullptr) {
+    artifacts.trace_jsonl = network.tracer()->ExportJsonl(config.Describe());
+  }
+  return artifacts;
 }
-
-namespace {
 
 /// One (config, repetition) unit of the flat job list.
 struct RepetitionJob {
@@ -46,6 +58,12 @@ struct RepetitionJob {
 };
 
 }  // namespace
+
+Result<FailureReport> RunOnce(const ExperimentConfig& config, uint64_t seed) {
+  Result<RunArtifacts> artifacts = RunOnceArtifacts(config, seed);
+  if (!artifacts.ok()) return artifacts.status();
+  return std::move(artifacts.value().report);
+}
 
 Result<std::vector<ExperimentResult>> RunExperiments(
     const std::vector<ExperimentConfig>& configs) {
@@ -64,19 +82,22 @@ Result<std::vector<ExperimentResult>> RunExperiments(
   // Each job writes only its own pre-sized slot; slot order (config,
   // then repetition) is fixed up front, so assembly below is
   // independent of worker scheduling.
-  std::vector<std::optional<Result<FailureReport>>> slots(jobs.size());
+  std::vector<std::optional<Result<RunArtifacts>>> slots(jobs.size());
   ParallelFor(jobs.size(), ParallelJobs(), [&](size_t i) {
-    slots[i] = RunOnce(*jobs[i].config, jobs[i].seed);
+    slots[i] = RunOnceArtifacts(*jobs[i].config, jobs[i].seed);
   });
 
   std::vector<ExperimentResult> results(configs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
-    Result<FailureReport>& report = *slots[i];
+    Result<RunArtifacts>& artifacts = *slots[i];
     // Slots are scanned in (config, repetition) order, so the first
     // error seen here is the first error the serial loop would hit.
-    if (!report.ok()) return report.status();
-    results[jobs[i].config_index].repetitions.push_back(
-        std::move(report).value());
+    if (!artifacts.ok()) return artifacts.status();
+    ExperimentResult& result = results[jobs[i].config_index];
+    result.repetitions.push_back(std::move(artifacts.value().report));
+    if (jobs[i].config->fabric.tracing) {
+      result.traces.push_back(std::move(artifacts.value().trace_jsonl));
+    }
   }
   for (ExperimentResult& result : results) {
     result.mean = FailureReport::Average(result.repetitions);

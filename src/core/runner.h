@@ -13,6 +13,11 @@ namespace fabricsim {
 struct ExperimentResult {
   FailureReport mean;
   std::vector<FailureReport> repetitions;
+  /// Per-repetition lifecycle trace exports (versioned JSONL), parallel
+  /// to `repetitions`. Empty unless config.fabric.tracing was set; the
+  /// strings are deterministic for a given config, independent of
+  /// FABRICSIM_JOBS.
+  std::vector<std::string> traces;
 };
 
 /// Runs one experiment: builds a fresh network per repetition (seeds

@@ -2,25 +2,112 @@
 
 #include <utility>
 
+#include "src/common/strings.h"
+
 namespace fabricsim {
 
 std::vector<uint32_t> DefaultBlockSizes() { return {10, 25, 50, 100, 200}; }
 
-Result<std::vector<BlockSizePoint>> SweepBlockSizes(
-    ExperimentConfig config, const std::vector<uint32_t>& sizes) {
-  std::vector<ExperimentConfig> configs;
-  configs.reserve(sizes.size());
-  for (uint32_t size : sizes) {
-    config.fabric.block_size = size;
-    configs.push_back(config);
+Result<std::vector<SweepPoint>> RunSweep(const ExperimentConfig& base,
+                                         const SweepSpec& spec) {
+  if (!spec.apply) {
+    return Status::InvalidArgument("sweep spec has no apply function");
   }
+  if (!spec.labels.empty() && spec.labels.size() != spec.values.size()) {
+    return Status::InvalidArgument(
+        "sweep labels must be empty or parallel to values");
+  }
+
+  std::vector<SweepPoint> points;
+  std::vector<ExperimentConfig> configs;
+  points.reserve(spec.values.size());
+  configs.reserve(spec.values.size());
+  for (size_t i = 0; i < spec.values.size(); ++i) {
+    SweepPoint point;
+    point.value = spec.values[i];
+    point.label = spec.labels.empty()
+                      ? StrFormat("%s=%g", spec.parameter.c_str(),
+                                  spec.values[i])
+                      : spec.labels[i];
+    ExperimentConfig config = base;
+    FABRICSIM_RETURN_NOT_OK(spec.apply(&config, spec.values[i], i));
+    configs.push_back(std::move(config));
+    points.push_back(std::move(point));
+  }
+
   Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
   if (!results.ok()) return results.status();
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].report = std::move(results.value()[i].mean);
+  }
+  return points;
+}
+
+SweepSpec BlockSizeSweepSpec(const std::vector<uint32_t>& sizes) {
+  SweepSpec spec;
+  spec.parameter = "block_size";
+  for (uint32_t size : sizes) {
+    spec.values.push_back(static_cast<double>(size));
+  }
+  spec.apply = [](ExperimentConfig* config, double value, size_t) {
+    config->fabric.block_size = static_cast<uint32_t>(value);
+    return Status::OK();
+  };
+  return spec;
+}
+
+SweepSpec ArrivalRateSweepSpec(const std::vector<double>& rates) {
+  SweepSpec spec;
+  spec.parameter = "arrival_rate_tps";
+  spec.values = rates;
+  spec.apply = [](ExperimentConfig* config, double value, size_t) {
+    config->arrival_rate_tps = value;
+    return Status::OK();
+  };
+  return spec;
+}
+
+SweepSpec OrgCountSweepSpec(const std::vector<int>& org_counts) {
+  SweepSpec spec;
+  spec.parameter = "num_orgs";
+  for (int orgs : org_counts) {
+    spec.values.push_back(static_cast<double>(orgs));
+  }
+  spec.apply = [](ExperimentConfig* config, double value, size_t) {
+    config->fabric.cluster.num_orgs = static_cast<int>(value);
+    return Status::OK();
+  };
+  return spec;
+}
+
+SweepSpec PolicyPresetSweepSpec(const std::vector<PolicyPreset>& presets) {
+  SweepSpec spec;
+  spec.parameter = "policy";
+  for (size_t i = 0; i < presets.size(); ++i) {
+    spec.values.push_back(static_cast<double>(i));
+    spec.labels.push_back(PolicyPresetToString(presets[i]));
+  }
+  // Capture the presets by value: the spec may outlive the argument.
+  spec.apply = [presets](ExperimentConfig* config, double, size_t index) {
+    config->fabric.policy_text =
+        MakePolicy(presets[index], config->fabric.cluster.num_orgs).ToString();
+    return Status::OK();
+  };
+  return spec;
+}
+
+// --- compatibility wrappers ------------------------------------------
+
+Result<std::vector<BlockSizePoint>> SweepBlockSizes(
+    ExperimentConfig config, const std::vector<uint32_t>& sizes) {
+  Result<std::vector<SweepPoint>> sweep =
+      RunSweep(config, BlockSizeSweepSpec(sizes));
+  if (!sweep.ok()) return sweep.status();
   std::vector<BlockSizePoint> points;
   points.reserve(sizes.size());
   for (size_t i = 0; i < sizes.size(); ++i) {
     points.push_back(
-        BlockSizePoint{sizes[i], std::move(results.value()[i].mean)});
+        BlockSizePoint{sizes[i], std::move(sweep.value()[i].report)});
   }
   return points;
 }
@@ -50,56 +137,41 @@ Result<BlockSizeSearch> FindBestBlockSize(ExperimentConfig config,
 
 Result<std::vector<RatePoint>> SweepArrivalRates(
     ExperimentConfig config, const std::vector<double>& rates) {
-  std::vector<ExperimentConfig> configs;
-  configs.reserve(rates.size());
-  for (double rate : rates) {
-    config.arrival_rate_tps = rate;
-    configs.push_back(config);
-  }
-  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
-  if (!results.ok()) return results.status();
+  Result<std::vector<SweepPoint>> sweep =
+      RunSweep(config, ArrivalRateSweepSpec(rates));
+  if (!sweep.ok()) return sweep.status();
   std::vector<RatePoint> points;
   points.reserve(rates.size());
   for (size_t i = 0; i < rates.size(); ++i) {
-    points.push_back(RatePoint{rates[i], std::move(results.value()[i].mean)});
+    points.push_back(RatePoint{rates[i], std::move(sweep.value()[i].report)});
   }
   return points;
 }
 
 Result<std::vector<OrgCountPoint>> SweepOrgCounts(
     ExperimentConfig config, const std::vector<int>& org_counts) {
-  std::vector<ExperimentConfig> configs;
-  configs.reserve(org_counts.size());
-  for (int orgs : org_counts) {
-    config.fabric.cluster.num_orgs = orgs;
-    configs.push_back(config);
-  }
-  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
-  if (!results.ok()) return results.status();
+  Result<std::vector<SweepPoint>> sweep =
+      RunSweep(config, OrgCountSweepSpec(org_counts));
+  if (!sweep.ok()) return sweep.status();
   std::vector<OrgCountPoint> points;
   points.reserve(org_counts.size());
   for (size_t i = 0; i < org_counts.size(); ++i) {
     points.push_back(
-        OrgCountPoint{org_counts[i], std::move(results.value()[i].mean)});
+        OrgCountPoint{org_counts[i], std::move(sweep.value()[i].report)});
   }
   return points;
 }
 
 Result<std::vector<PolicyPoint>> SweepPolicyPresets(
     ExperimentConfig config, const std::vector<PolicyPreset>& presets) {
+  Result<std::vector<SweepPoint>> sweep =
+      RunSweep(config, PolicyPresetSweepSpec(presets));
+  if (!sweep.ok()) return sweep.status();
   std::vector<PolicyPoint> points(presets.size());
-  std::vector<ExperimentConfig> configs;
-  configs.reserve(presets.size());
   for (size_t i = 0; i < presets.size(); ++i) {
     points[i].preset = presets[i];
     points[i].policy = MakePolicy(presets[i], config.fabric.cluster.num_orgs);
-    config.fabric.policy_text = points[i].policy.ToString();
-    configs.push_back(config);
-  }
-  Result<std::vector<ExperimentResult>> results = RunExperiments(configs);
-  if (!results.ok()) return results.status();
-  for (size_t i = 0; i < presets.size(); ++i) {
-    points[i].report = std::move(results.value()[i].mean);
+    points[i].report = std::move(sweep.value()[i].report);
   }
   return points;
 }

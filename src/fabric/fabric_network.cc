@@ -31,6 +31,12 @@ Status FabricNetwork::Init() {
     return Status::InvalidArgument("cluster must have orgs, peers, clients");
   }
 
+  // --- Lifecycle tracing ---------------------------------------------
+  if (config_.tracing) {
+    tracer_ = std::make_unique<Tracer>();
+    env_->set_tracer(tracer_.get());
+  }
+
   // --- Endorsement policy -------------------------------------------
   if (config_.policy_text.empty()) {
     policy_ = std::make_unique<EndorsementPolicy>(
@@ -213,6 +219,12 @@ void FabricNetwork::RecordCommit(uint64_t block_number,
   block.results = outcome.results;
   for (Transaction& tx : block.txs) {
     tx.committed_time = env_->now();
+  }
+  if (tracer_ != nullptr) {
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      tracer_->OnCommit(block.txs[i].id, block_number, i, block.results[i],
+                        env_->now());
+    }
   }
   ledger_.Append(std::move(block));
 }

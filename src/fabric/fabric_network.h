@@ -12,6 +12,7 @@
 #include "src/ext/fabricsharp/fabricsharp.h"
 #include "src/fabric/network_config.h"
 #include "src/ledger/block_store.h"
+#include "src/obs/tracer.h"
 #include "src/ordering/orderer.h"
 #include "src/peer/peer.h"
 #include "src/policy/endorsement_policy.h"
@@ -58,6 +59,13 @@ class FabricNetwork {
 
   const RunStats& stats() const { return stats_; }
   const FabricConfig& config() const { return config_; }
+
+  /// Lifecycle tracer; nullptr unless config.tracing was set before
+  /// Init(). When present it holds one TxTrace per generated
+  /// transaction (complete span chain + failure attribution) and the
+  /// per-phase latency histograms.
+  const Tracer* tracer() const { return tracer_.get(); }
+
   const EndorsementPolicy& policy() const { return *policy_; }
   const Network& net() const { return *net_; }
   Orderer& orderer() { return *orderer_; }
@@ -78,6 +86,7 @@ class FabricNetwork {
   std::shared_ptr<WorkloadGenerator> workload_;
 
   std::unique_ptr<EndorsementPolicy> policy_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<ValidationOutcomeCache> validation_cache_;
   std::unique_ptr<FabricPlusPlusProcessor> fabricpp_;

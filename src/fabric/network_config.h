@@ -96,6 +96,13 @@ struct FabricConfig {
   /// paper's default flow does; its recommendation #4 is not to).
   bool submit_read_only = true;
 
+  /// Per-transaction lifecycle tracing (src/obs). Off by default: the
+  /// tracer is a pure observer, but recording spans costs memory and a
+  /// little time, so runs that only need the aggregate FailureReport
+  /// keep it disabled. Disabled runs are bitwise identical to builds
+  /// without the tracing subsystem.
+  bool tracing = false;
+
   /// Streamchain: ledger/world state on a RAM disk (paper §5.3.3).
   bool streamchain_ram_disk = true;
 

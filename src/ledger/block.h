@@ -2,6 +2,7 @@
 #define FABRICSIM_LEDGER_BLOCK_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -19,12 +20,27 @@ enum class BlockCutReason : uint8_t {
 
 /// Per-transaction validation outcome stored in the block metadata,
 /// mirroring Fabric's transaction filter bitmap (extended with the
-/// MVCC sub-class and the id of the conflicting writer for analysis).
+/// MVCC sub-class, the id of the conflicting writer, and — for
+/// MVCC/phantom conflicts — the concrete key/version evidence, so a
+/// failed transaction can be attributed without re-running
+/// validation).
 struct TxValidationResult {
   TxValidationCode code = TxValidationCode::kNotValidated;
   MvccClass mvcc_class = MvccClass::kNone;
   /// Transaction that performed the invalidating write (0 if n/a).
   TxId conflicting_tx = 0;
+  /// MVCC/phantom: the first key whose version check failed (empty for
+  /// other failure classes).
+  std::string conflicting_key;
+  /// Version the endorser recorded for conflicting_key; read_found is
+  /// false when the endorser read a key that did not exist.
+  bool read_found = false;
+  Version read_version;
+  /// Version found at validation time; observed_found is false when
+  /// the key had been deleted/never existed. Its (block_num, tx_num)
+  /// name the invalidating write.
+  bool observed_found = false;
+  Version observed_version;
 };
 
 /// A block as delivered by the ordering service and annotated by the

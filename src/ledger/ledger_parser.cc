@@ -20,6 +20,8 @@ std::vector<TxRecord> LedgerParser::Parse(const BlockStore& store) {
       rec.conflicting_tx = res.conflicting_tx;
       rec.read_only = tx.read_only;
       rec.submit_time = tx.client_submit_time;
+      rec.endorsed_time = tx.endorsed_time;
+      rec.ordered_time = tx.ordered_time;
       rec.committed_time = tx.committed_time;
       records.push_back(std::move(rec));
     }

@@ -24,6 +24,8 @@ struct TxRecord {
   TxId conflicting_tx = 0;
   bool read_only = false;
   SimTime submit_time = 0;
+  SimTime endorsed_time = 0;  ///< all endorsements collected at the client
+  SimTime ordered_time = 0;   ///< cut into a block by the ordering service
   SimTime committed_time = 0;
 
   /// End-to-end latency over all three E-O-V phases.

@@ -1,0 +1,89 @@
+#include "src/obs/json_writer.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace fabricsim {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+VersionedJsonWriter::VersionedJsonWriter(std::string kind, Format format)
+    : kind_(std::move(kind)), format_(format) {}
+
+void VersionedJsonWriter::AddRow(std::string row_json) {
+  rows_.push_back(std::move(row_json));
+}
+
+std::string VersionedJsonWriter::Header() const {
+  std::string header = "\"schema_version\": " +
+                       std::to_string(kObsSchemaVersion) + ", \"kind\": \"" +
+                       JsonEscape(kind_) + "\", \"config\": \"" +
+                       JsonEscape(config_echo_) + "\"";
+  return header;
+}
+
+std::string VersionedJsonWriter::Render() const {
+  std::string out;
+  if (format_ == Format::kJsonl) {
+    out += "{" + Header() + "}\n";
+    for (const std::string& row : rows_) {
+      out += row;
+      out += '\n';
+    }
+    return out;
+  }
+  out += "{\n  " + Header() + ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out += "    " + rows_[i];
+    if (i + 1 < rows_.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool VersionedJsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,62 @@
+#ifndef FABRICSIM_OBS_JSON_WRITER_H_
+#define FABRICSIM_OBS_JSON_WRITER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fabricsim {
+
+/// Schema version stamped into every machine-readable artifact the
+/// simulator emits (bench JSON and trace JSONL). Bump on any change to
+/// the row layout so downstream tooling can dispatch on it.
+inline constexpr int kObsSchemaVersion = 1;
+
+/// Escapes a string for inclusion inside a JSON string literal
+/// (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Buffers JSON object rows and renders them behind a versioned
+/// header. One writer serves both artifact shapes:
+///  * kDocument: a single JSON object
+///      {"schema_version": N, "kind": "...", "config": "...",
+///       "rows": [ ... ]}
+///    used for the BENCH_*.json files, and
+///  * kJsonl: a header line followed by one row object per line,
+///    used for transaction-trace exports.
+/// Sharing the writer keeps every artifact self-describing: the same
+/// schema_version + kind + config echo appears in each.
+class VersionedJsonWriter {
+ public:
+  enum class Format { kDocument, kJsonl };
+
+  VersionedJsonWriter(std::string kind, Format format);
+
+  /// Human-readable echo of the generating configuration (e.g.
+  /// ExperimentConfig::Describe()), emitted in the header.
+  void set_config_echo(std::string echo) { config_echo_ = std::move(echo); }
+
+  /// Appends one complete JSON object (no trailing newline).
+  void AddRow(std::string row_json);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full artifact into a string.
+  std::string Render() const;
+
+  /// Renders and writes to `path`. Returns false (and prints to
+  /// stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string Header() const;
+
+  std::string kind_;
+  Format format_;
+  std::string config_echo_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_OBS_JSON_WRITER_H_

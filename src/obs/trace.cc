@@ -1,0 +1,103 @@
+#include "src/obs/trace.h"
+
+#include "src/common/strings.h"
+#include "src/obs/json_writer.h"
+
+namespace fabricsim {
+
+const char* TraceTerminalToString(TraceTerminal terminal) {
+  switch (terminal) {
+    case TraceTerminal::kInFlight:
+      return "in_flight";
+    case TraceTerminal::kLedger:
+      return "ledger";
+    case TraceTerminal::kAppError:
+      return "app_error";
+    case TraceTerminal::kReadOnlySkipped:
+      return "read_only_skipped";
+    case TraceTerminal::kEarlyAborted:
+      return "early_aborted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string VersionJson(const Version& v) {
+  return StrFormat("{\"block\": %llu, \"tx\": %u}",
+                   static_cast<unsigned long long>(v.block_num), v.tx_num);
+}
+
+}  // namespace
+
+std::string TxTrace::ToJson() const {
+  std::string out = StrFormat(
+      "{\"type\": \"tx\", \"id\": %llu, \"function\": \"%s\", "
+      "\"read_only\": %s, \"terminal\": \"%s\", \"code\": \"%s\"",
+      static_cast<unsigned long long>(id), JsonEscape(function).c_str(),
+      read_only ? "true" : "false", TraceTerminalToString(terminal),
+      TxValidationCodeToString(final_code));
+  if (block_number != 0) {
+    out += StrFormat(", \"block\": %llu, \"index\": %u",
+                     static_cast<unsigned long long>(block_number), tx_index);
+  }
+  out += StrFormat(", \"spans\": {\"submit\": %lld",
+                   static_cast<long long>(client_submit));
+  out += ", \"endorsers\": [";
+  for (size_t i = 0; i < endorsers.size(); ++i) {
+    const EndorserSpan& e = endorsers[i];
+    out += StrFormat(
+        "%s{\"peer\": %d, \"org\": %d, \"sent\": %lld, \"received\": %lld}",
+        i == 0 ? "" : ", ", e.peer_id, e.org_id,
+        static_cast<long long>(e.request_sent),
+        static_cast<long long>(e.response_received));
+  }
+  out += "]";
+  if (endorsed != 0) {
+    out += StrFormat(", \"endorsed\": %lld", static_cast<long long>(endorsed));
+  }
+  if (orderer_enqueue != 0) {
+    out += StrFormat(", \"orderer_enqueue\": %lld",
+                     static_cast<long long>(orderer_enqueue));
+  }
+  if (block_cut != 0) {
+    out += StrFormat(", \"block_cut\": %lld",
+                     static_cast<long long>(block_cut));
+  }
+  if (committed != 0) {
+    out += StrFormat(", \"committed\": %lld",
+                     static_cast<long long>(committed));
+  }
+  out += "}";
+  if (failure != nullptr) {
+    const FailureAttribution& f = *failure;
+    out += StrFormat(", \"failure\": {\"class\": \"%s\"",
+                     TxValidationCodeToString(f.code));
+    if (f.mvcc_class != MvccClass::kNone) {
+      out += StrFormat(", \"mvcc_class\": \"%s\"",
+                       f.mvcc_class == MvccClass::kIntraBlock ? "intra_block"
+                                                              : "inter_block");
+    }
+    if (!f.conflicting_key.empty()) {
+      out += StrFormat(", \"key\": \"%s\"",
+                       JsonEscape(f.conflicting_key).c_str());
+      out += ", \"read_version\": ";
+      out += f.read_found ? VersionJson(f.read_version) : "null";
+      out += ", \"observed_version\": ";
+      out += f.observed_found ? VersionJson(f.observed_version) : "null";
+    }
+    if (f.conflicting_tx != 0) {
+      out += StrFormat(", \"conflicting_tx\": %llu",
+                       static_cast<unsigned long long>(f.conflicting_tx));
+    }
+    if (f.block_number != 0) {
+      out += StrFormat(", \"block\": %llu",
+                       static_cast<unsigned long long>(f.block_number));
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fabricsim

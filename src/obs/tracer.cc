@@ -1,0 +1,120 @@
+#include "src/obs/tracer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/strings.h"
+#include "src/obs/json_writer.h"
+
+namespace fabricsim {
+
+void Tracer::OnEarlyAbort(TxId id, TxValidationCode code, SimTime now) {
+  (void)now;
+  TxTrace& trace = Touch(id);
+  trace.terminal = TraceTerminal::kEarlyAborted;
+  trace.final_code = code;
+  auto failure = std::make_unique<FailureAttribution>();
+  failure->code = code;
+  trace.failure = std::move(failure);
+  aggregates_dirty_ = true;
+}
+
+void Tracer::OnCommit(TxId id, uint64_t block_number, uint32_t tx_index,
+                      const TxValidationResult& result, SimTime now) {
+  TxTrace& trace = Touch(id);
+  trace.terminal = TraceTerminal::kLedger;
+  trace.final_code = result.code;
+  trace.block_number = block_number;
+  trace.tx_index = tx_index;
+  trace.committed = now;
+  if (result.code != TxValidationCode::kValid) {
+    auto failure = std::make_unique<FailureAttribution>();
+    failure->code = result.code;
+    failure->mvcc_class = result.mvcc_class;
+    failure->conflicting_key = result.conflicting_key;
+    failure->read_found = result.read_found;
+    failure->read_version = result.read_version;
+    failure->observed_found = result.observed_found;
+    failure->observed_version = result.observed_version;
+    failure->conflicting_tx = result.conflicting_tx;
+    failure->block_number = block_number;
+    trace.failure = std::move(failure);
+  }
+  aggregates_dirty_ = true;
+}
+
+void Tracer::RebuildAggregates() const {
+  phases_ = PhaseHistograms();
+  failure_counts_.clear();
+  for (const TxTrace& trace : traces_) {
+    if (trace.id == 0) continue;
+    if (trace.terminal == TraceTerminal::kLedger) {
+      ++failure_counts_[trace.final_code];
+      phases_.endorse.Add(ToMillis(trace.EndorsePhase()));
+      phases_.ordering.Add(ToMillis(trace.OrderingPhase()));
+      phases_.commit.Add(ToMillis(trace.CommitPhase()));
+      phases_.total.Add(ToMillis(trace.TotalLatency()));
+    } else if (trace.terminal == TraceTerminal::kEarlyAborted) {
+      ++failure_counts_[trace.final_code];
+    }
+  }
+  aggregates_dirty_ = false;
+}
+
+void Tracer::OnPeerCommit(PeerId peer, uint64_t block_number, SimTime now) {
+  peer_commits_[{block_number, peer}] = now;
+}
+
+const TxTrace* Tracer::Find(TxId id) const {
+  if (id == 0 || id >= traces_.size()) return nullptr;
+  const TxTrace& trace = traces_[id];
+  return trace.id == id ? &trace : nullptr;
+}
+
+std::vector<const TxTrace*> Tracer::SortedTraces() const {
+  // traces_ is indexed by id, so a linear scan is already id-ordered.
+  std::vector<const TxTrace*> sorted;
+  sorted.reserve(size_);
+  for (const TxTrace& trace : traces_) {
+    if (trace.id != 0) sorted.push_back(&trace);
+  }
+  return sorted;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Tracer::TopConflictingKeys(
+    size_t limit) const {
+  std::map<std::string, uint64_t> counts;
+  for (const TxTrace& trace : traces_) {
+    if (trace.id != 0 && trace.failure != nullptr &&
+        !trace.failure->conflicting_key.empty()) {
+      ++counts[trace.failure->conflicting_key];
+    }
+  }
+  std::vector<std::pair<std::string, uint64_t>> ranked(counts.begin(),
+                                                       counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > limit) ranked.resize(limit);
+  return ranked;
+}
+
+std::string Tracer::ExportJsonl(const std::string& config_echo) const {
+  VersionedJsonWriter writer("fabricsim.trace",
+                             VersionedJsonWriter::Format::kJsonl);
+  writer.set_config_echo(config_echo);
+  for (const TxTrace* trace : SortedTraces()) {
+    writer.AddRow(trace->ToJson());
+  }
+  for (const auto& [key, time] : peer_commits_) {
+    writer.AddRow(StrFormat(
+        "{\"type\": \"peer_commit\", \"block\": %llu, \"peer\": %d, "
+        "\"committed\": %lld}",
+        static_cast<unsigned long long>(key.first), key.second,
+        static_cast<long long>(time)));
+  }
+  return writer.Render();
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,157 @@
+#ifndef FABRICSIM_OBS_TRACER_H_
+#define FABRICSIM_OBS_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/obs/trace.h"
+
+namespace fabricsim {
+
+/// Aggregate per-phase latency sinks over ledger transactions.
+/// Histograms are in milliseconds.
+struct PhaseHistograms {
+  Histogram endorse;   ///< client submit -> all endorsements collected
+  Histogram ordering;  ///< endorsed -> block cut
+  Histogram commit;    ///< block cut -> committed on the reference peer
+  Histogram total;     ///< end-to-end
+};
+
+/// Records per-transaction lifecycle traces from the DES actors. The
+/// simulation layers hold a `Tracer*` that is nullptr when tracing is
+/// disabled — every hook call sits behind a null check, so the
+/// disabled path costs one predictable branch and the simulated
+/// behaviour (event order, RNG draws, timestamps) is identical either
+/// way: the tracer only observes, it never schedules events or draws
+/// randomness.
+class Tracer {
+ public:
+  Tracer() { traces_.reserve(4096); }
+
+  // --- recording hooks (called by client/ordering/peer/fabric) -------
+  // The per-event hooks on the DES hot path are defined inline: after
+  // Touch() collapses to an array index they are a handful of stores,
+  // and inlining keeps the enabled-tracing overhead within the <5%
+  // budget enforced by bench_trace_overhead.
+  void OnClientSubmit(TxId id, const std::string& function, SimTime now) {
+    TxTrace& trace = Touch(id);
+    trace.function = function;
+    trace.client_submit = now;
+  }
+  void OnEndorseRequest(TxId id, PeerId peer, OrgId org, SimTime now) {
+    TxTrace& trace = Touch(id);
+    if (trace.endorsers.empty()) trace.endorsers.reserve(4);
+    EndorserSpan span;
+    span.peer_id = peer;
+    span.org_id = org;
+    span.request_sent = now;
+    trace.endorsers.push_back(span);
+  }
+  void OnEndorseResponse(TxId id, PeerId peer, SimTime now) {
+    TxTrace& trace = Touch(id);
+    for (EndorserSpan& span : trace.endorsers) {
+      if (span.peer_id == peer && span.response_received == 0) {
+        span.response_received = now;
+        return;
+      }
+    }
+  }
+  void OnEndorsed(TxId id, bool read_only, SimTime now) {
+    TxTrace& trace = Touch(id);
+    trace.read_only = read_only;
+    trace.endorsed = now;
+  }
+  /// Client-side drop: app error or read-only skip.
+  void OnClientDrop(TxId id, TraceTerminal reason, SimTime now) {
+    (void)now;
+    Touch(id).terminal = reason;
+  }
+  void OnOrdererEnqueue(TxId id, SimTime now) {
+    Touch(id).orderer_enqueue = now;
+  }
+  /// Ordering-phase abort (Fabric++ / FabricSharp); never on chain.
+  void OnEarlyAbort(TxId id, TxValidationCode code, SimTime now);
+  void OnBlockCut(TxId id, uint64_t block_number, uint32_t tx_index,
+                  SimTime now) {
+    TxTrace& trace = Touch(id);
+    trace.block_number = block_number;
+    trace.tx_index = tx_index;
+    trace.block_cut = now;
+  }
+  /// Validation verdict + commit on the reference peer. Completes the
+  /// span chain and, for failed transactions, files the attribution
+  /// record carried in `result`.
+  void OnCommit(TxId id, uint64_t block_number, uint32_t tx_index,
+                const TxValidationResult& result, SimTime now);
+  /// Block commit completion on any peer (commit-skew observability).
+  void OnPeerCommit(PeerId peer, uint64_t block_number, SimTime now);
+
+  // --- queries -------------------------------------------------------
+  size_t size() const { return size_; }
+  const TxTrace* Find(TxId id) const;
+  /// All traces ordered by transaction id (deterministic).
+  std::vector<const TxTrace*> SortedTraces() const;
+  /// Per-phase latency histograms over ledger transactions. Computed
+  /// lazily from the recorded traces: the hot-path hooks only record
+  /// raw spans, aggregation happens at query time.
+  const PhaseHistograms& phases() const {
+    if (aggregates_dirty_) RebuildAggregates();
+    return phases_;
+  }
+  /// Failure-class counters over ledger + early-aborted transactions.
+  /// Lazily derived from the traces, like phases().
+  const std::map<TxValidationCode, uint64_t>& failure_counts() const {
+    if (aggregates_dirty_) RebuildAggregates();
+    return failure_counts_;
+  }
+  /// Per-peer commit time of each block, in (block, peer) order.
+  const std::map<std::pair<uint64_t, PeerId>, SimTime>& peer_commits() const {
+    return peer_commits_;
+  }
+  /// The keys most often named in MVCC/phantom failure attributions,
+  /// most-conflicting first (ties broken by key for determinism).
+  std::vector<std::pair<std::string, uint64_t>> TopConflictingKeys(
+      size_t limit) const;
+
+  /// Renders the whole trace as JSONL: a versioned header line, one
+  /// row per transaction (sorted by id), then one row per (block,
+  /// peer) commit. `config_echo` is echoed in the header.
+  std::string ExportJsonl(const std::string& config_echo) const;
+
+ private:
+  TxTrace& Touch(TxId id) {
+    if (id >= traces_.size()) traces_.resize(id + 1);
+    TxTrace& trace = traces_[id];
+    if (trace.id == 0 && id != 0) {
+      trace.id = id;
+      ++size_;
+    }
+    return trace;
+  }
+
+  /// Transaction ids are a dense counter starting at 1 (see
+  /// Client::Submit), so traces are stored in a vector indexed by id —
+  /// every hook is an array index instead of a hash lookup, and
+  /// iteration is already in id order. Slot 0 and any gap slots stay
+  /// default-constructed (id == 0) and are skipped by the queries.
+  /// Recomputes phases_ and failure_counts_ from traces_. Scans in id
+  /// order, so the result is deterministic.
+  void RebuildAggregates() const;
+
+  std::vector<TxTrace> traces_;
+  size_t size_ = 0;  ///< number of touched (non-default) slots
+  std::map<std::pair<uint64_t, PeerId>, SimTime> peer_commits_;
+  /// Aggregates are caches over traces_, rebuilt on demand — keeping
+  /// histogram/map updates off the per-commit hot path.
+  mutable bool aggregates_dirty_ = false;
+  mutable std::map<TxValidationCode, uint64_t> failure_counts_;
+  mutable PhaseHistograms phases_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_OBS_TRACER_H_

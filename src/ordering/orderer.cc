@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/obs/tracer.h"
+#include "src/sim/environment.h"
+
 namespace fabricsim {
 
 Orderer::Orderer(Params params)
@@ -22,6 +25,9 @@ Orderer::Orderer(Params params)
 
 void Orderer::SubmitTransaction(Transaction tx) {
   ++txs_received_;
+  if (Tracer* tracer = env_->tracer()) {
+    tracer->OnOrdererEnqueue(tx.id, env_->now());
+  }
   auto shared_tx = std::make_shared<Transaction>(std::move(tx));
   queue_.Submit(
       *env_, [this]() -> SimTime { return timing_.orderer_per_tx_cost; },
@@ -30,6 +36,9 @@ void Orderer::SubmitTransaction(Transaction tx) {
         if (processor_ != nullptr &&
             !processor_->Admit(*shared_tx, &reject_code)) {
           ++txs_early_aborted_;
+          if (Tracer* tracer = env_->tracer()) {
+            tracer->OnEarlyAbort(shared_tx->id, reject_code, env_->now());
+          }
           if (on_early_abort_) on_early_abort_(*shared_tx, reject_code);
           return;
         }
@@ -85,6 +94,11 @@ void Orderer::CutBlock(std::vector<Transaction> txs, BlockCutReason reason) {
     std::vector<BlockProcessor::EarlyAbort> early_aborted;
     processor_cost = processor_->OnBlockCut(block.get(), &early_aborted);
     txs_early_aborted_ += early_aborted.size();
+    if (Tracer* tracer = env_->tracer()) {
+      for (const BlockProcessor::EarlyAbort& abort : early_aborted) {
+        tracer->OnEarlyAbort(abort.first.id, abort.second, env_->now());
+      }
+    }
     if (on_early_abort_) {
       for (const BlockProcessor::EarlyAbort& abort : early_aborted) {
         on_early_abort_(abort.first, abort.second);
@@ -94,6 +108,12 @@ void Orderer::CutBlock(std::vector<Transaction> txs, BlockCutReason reason) {
       // Everything was aborted at the cut; nothing to deliver.
       --next_block_number_;
       return;
+    }
+  }
+
+  if (Tracer* tracer = env_->tracer()) {
+    for (uint32_t i = 0; i < block->txs.size(); ++i) {
+      tracer->OnBlockCut(block->txs[i].id, block->number, i, env_->now());
     }
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/tracer.h"
+
 namespace fabricsim {
 
 Peer::Peer(Params params)
@@ -154,6 +156,9 @@ void Peer::ProcessBlock(std::shared_ptr<const Block> block) {
       [this, outcome, block]() {
         CommitStateUpdates(*state_, (*outcome)->state_updates);
         committed_height_ = block->number;
+        if (Tracer* tracer = env_->tracer()) {
+          tracer->OnPeerCommit(id_, block->number, env_->now());
+        }
         if (endorse_snapshot_ != nullptr) {
           // Refresh the endorsement snapshot at the next snapshot
           // boundary; application order across blocks is preserved by

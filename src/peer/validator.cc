@@ -69,7 +69,7 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
     return r;
   };
 
-  auto fail_mvcc = [&](const Resolved& current) {
+  auto fail_mvcc = [&](const ReadItem& read, const Resolved& current) {
     result.code = TxValidationCode::kMvccReadConflict;
     if (current.from_overlay) {
       result.mvcc_class = MvccClass::kIntraBlock;
@@ -77,6 +77,14 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
     } else {
       result.mvcc_class = MvccClass::kInterBlock;
     }
+    // Attribution evidence: which key, what the endorser read, what
+    // validation found (the observed version names the invalidating
+    // write).
+    result.conflicting_key = read.key;
+    result.read_found = read.found;
+    if (read.found) result.read_version = read.version;
+    result.observed_found = current.exists;
+    if (current.exists) result.observed_version = current.version;
   };
 
   // --- MVCC: point reads (paper Eq. 2) --------------------------------
@@ -84,12 +92,12 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
     Resolved current = resolve(read.key);
     if (read.found) {
       if (!current.exists || current.version != read.version) {
-        fail_mvcc(current);
+        fail_mvcc(read, current);
         return result;
       }
     } else if (current.exists) {
       // The endorser saw no key; now one exists.
-      fail_mvcc(current);
+      fail_mvcc(read, current);
       return result;
     }
   }
@@ -128,6 +136,39 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
     }
     if (mismatch) {
       result.code = TxValidationCode::kPhantomReadConflict;
+      // Attribution: the first endorser-read key that vanished or
+      // changed version, else the first phantom key that appeared in
+      // the interval (current_range is sorted, so this is
+      // deterministic).
+      for (const ReadItem& read : rq.reads) {
+        auto it = current_range.find(read.key);
+        if (it == current_range.end()) {
+          result.conflicting_key = read.key;
+          result.read_found = true;
+          result.read_version = read.version;
+          break;
+        }
+        if (it->second != read.version) {
+          result.conflicting_key = read.key;
+          result.read_found = true;
+          result.read_version = read.version;
+          result.observed_found = true;
+          result.observed_version = it->second;
+          break;
+        }
+      }
+      if (result.conflicting_key.empty()) {
+        std::set<std::string> endorsed_keys;
+        for (const ReadItem& read : rq.reads) endorsed_keys.insert(read.key);
+        for (const auto& [key, version] : current_range) {
+          if (endorsed_keys.count(key) == 0) {
+            result.conflicting_key = key;
+            result.observed_found = true;
+            result.observed_version = version;
+            break;
+          }
+        }
+      }
       return result;
     }
   }

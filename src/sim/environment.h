@@ -10,6 +10,8 @@
 
 namespace fabricsim {
 
+class Tracer;  // src/obs/tracer.h
+
 /// The discrete-event simulation environment: a virtual clock plus the
 /// event queue. Single-threaded and deterministic for a given seed.
 class Environment {
@@ -38,11 +40,20 @@ class Environment {
   /// Root RNG for this run; actors should Fork() their own streams.
   Rng& rng() { return rng_; }
 
+  /// Lifecycle tracer shared by every actor in this environment.
+  /// nullptr (the default) disables tracing: actors guard each hook
+  /// with a null check, so the disabled path is a single branch and
+  /// the simulation behaves identically either way. The tracer is a
+  /// pure observer — it never schedules events or consumes randomness.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_executed_ = 0;
   Rng rng_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace fabricsim

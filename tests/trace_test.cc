@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/parallel.h"
+#include "src/core/experiment.h"
+#include "src/core/runner.h"
+#include "src/core/sweeps.h"
+#include "src/fabric/fabric_network.h"
+#include "src/ledger/ledger_parser.h"
+#include "src/obs/json_writer.h"
+#include "src/workload/paper_workloads.h"
+
+namespace fabricsim {
+namespace {
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 5 * kSecond;
+  config.arrival_rate_tps = 40;
+  config.repetitions = 2;
+  return config;
+}
+
+/// Hot-key configuration that reliably produces MVCC conflicts in a
+/// short run: update-heavy genChain over a small, strongly skewed key
+/// space.
+ExperimentConfig ConflictConfig() {
+  ExperimentConfig config = ExperimentConfig::Builder()
+                                .Chaincode("genchain")
+                                .Mix(WorkloadMix::kUpdateHeavy)
+                                .ZipfSkew(1.5)
+                                .RateTps(100)
+                                .Duration(10 * kSecond)
+                                .Repetitions(1)
+                                .Tracing()
+                                .Build();
+  config.workload.genchain_initial_keys = 500;
+  return config;
+}
+
+/// Drives one traced network to completion and keeps it alive so the
+/// tracer can be queried.
+struct TracedRun {
+  std::unique_ptr<Environment> env;
+  std::unique_ptr<FabricNetwork> network;
+};
+
+TracedRun RunTraced(const ExperimentConfig& config, uint64_t seed) {
+  auto chaincode = MakeChaincodeFor(config.workload);
+  EXPECT_TRUE(chaincode.ok());
+  auto workload = MakeWorkload(config.workload, /*rich_queries=*/true);
+  EXPECT_TRUE(workload.ok());
+  TracedRun run;
+  run.env = std::make_unique<Environment>(seed);
+  run.network = std::make_unique<FabricNetwork>(
+      config.fabric, run.env.get(), chaincode.value(),
+      std::shared_ptr<WorkloadGenerator>(std::move(workload).value()));
+  EXPECT_TRUE(run.network->Init().ok());
+  run.network->StartLoad(config.arrival_rate_tps, config.duration);
+  run.env->RunAll();
+  return run;
+}
+
+TEST(TraceTest, SpanChainCompleteAndTelescopes) {
+  ExperimentConfig config = ConflictConfig();
+  TracedRun run = RunTraced(config, 7);
+  const Tracer* tracer = run.network->tracer();
+  ASSERT_NE(tracer, nullptr);
+
+  std::vector<TxRecord> records = LedgerParser::Parse(run.network->ledger());
+  ASSERT_GT(records.size(), 0u);
+  for (const TxRecord& rec : records) {
+    const TxTrace* trace = tracer->Find(rec.id);
+    ASSERT_NE(trace, nullptr) << "ledger tx " << rec.id << " untraced";
+    EXPECT_EQ(trace->terminal, TraceTerminal::kLedger);
+    EXPECT_EQ(trace->final_code, rec.code);
+    EXPECT_EQ(trace->block_number, rec.block_number);
+    EXPECT_EQ(trace->tx_index, rec.tx_index);
+
+    // Complete span chain, in causal order.
+    EXPECT_GT(trace->client_submit, 0);
+    EXPECT_FALSE(trace->endorsers.empty());
+    for (const EndorserSpan& span : trace->endorsers) {
+      EXPECT_GE(span.request_sent, trace->client_submit);
+      EXPECT_GT(span.response_received, span.request_sent);
+    }
+    EXPECT_GE(trace->endorsed, trace->client_submit);
+    EXPECT_GE(trace->orderer_enqueue, trace->endorsed);
+    EXPECT_GE(trace->block_cut, trace->orderer_enqueue);
+    EXPECT_GE(trace->committed, trace->block_cut);
+
+    // Spans agree with the parsed ledger timestamps.
+    EXPECT_EQ(trace->client_submit, rec.submit_time);
+    EXPECT_EQ(trace->endorsed, rec.endorsed_time);
+    EXPECT_EQ(trace->committed, rec.committed_time);
+
+    // The three phases telescope into the end-to-end latency.
+    EXPECT_EQ(trace->EndorsePhase() + trace->OrderingPhase() +
+                  trace->CommitPhase(),
+              trace->TotalLatency());
+    EXPECT_EQ(trace->TotalLatency(), rec.TotalLatency());
+  }
+
+  // The aggregate histograms saw exactly the ledger transactions.
+  EXPECT_EQ(tracer->phases().total.count(), records.size());
+}
+
+TEST(TraceTest, FailedTxsHaveAttribution) {
+  ExperimentConfig config = ConflictConfig();
+  TracedRun run = RunTraced(config, 11);
+  const Tracer* tracer = run.network->tracer();
+  ASSERT_NE(tracer, nullptr);
+
+  size_t failed = 0;
+  size_t keyed = 0;
+  for (const TxTrace* trace : tracer->SortedTraces()) {
+    if (trace->terminal != TraceTerminal::kLedger ||
+        trace->final_code == TxValidationCode::kValid) {
+      continue;
+    }
+    ++failed;
+    ASSERT_TRUE(trace->failure != nullptr)
+        << "failed tx " << trace->id << " has no attribution";
+    const FailureAttribution& why = *trace->failure;
+    EXPECT_EQ(why.code, trace->final_code);
+    EXPECT_EQ(why.block_number, trace->block_number);
+    if (why.code == TxValidationCode::kMvccReadConflict ||
+        why.code == TxValidationCode::kPhantomReadConflict) {
+      EXPECT_FALSE(why.conflicting_key.empty())
+          << "conflict without a key on tx " << trace->id;
+      // The offending write is identified either by the observed
+      // version's (block, tx) coordinates or, intra-block, by the
+      // invalidating transaction id.
+      EXPECT_TRUE(why.observed_found || why.conflicting_tx != 0);
+      ++keyed;
+    }
+  }
+  ASSERT_GT(failed, 0u) << "conflict config produced no failures";
+  ASSERT_GT(keyed, 0u) << "no MVCC/phantom attribution produced";
+  EXPECT_FALSE(tracer->TopConflictingKeys(5).empty());
+}
+
+TEST(TraceTest, DisabledTracingReproducesSeedReports) {
+  ExperimentConfig off = FastConfig();
+  off.fabric.tracing = false;
+  ExperimentConfig on = off;
+  on.fabric.tracing = true;
+
+  auto a = RunOnce(off, 42);
+  auto b = RunOnce(on, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The tracer is a pure observer: every simulated quantity matches
+  // bit for bit; only the phase breakdown is extra.
+  EXPECT_EQ(a.value().ledger_txs, b.value().ledger_txs);
+  EXPECT_EQ(a.value().valid_txs, b.value().valid_txs);
+  EXPECT_EQ(a.value().endorsement_failures, b.value().endorsement_failures);
+  EXPECT_EQ(a.value().mvcc_intra, b.value().mvcc_intra);
+  EXPECT_EQ(a.value().mvcc_inter, b.value().mvcc_inter);
+  EXPECT_EQ(a.value().phantom, b.value().phantom);
+  EXPECT_EQ(a.value().submitted_txs, b.value().submitted_txs);
+  EXPECT_EQ(a.value().app_errors, b.value().app_errors);
+  EXPECT_DOUBLE_EQ(a.value().total_failure_pct, b.value().total_failure_pct);
+  EXPECT_DOUBLE_EQ(a.value().avg_latency_s, b.value().avg_latency_s);
+  EXPECT_DOUBLE_EQ(a.value().p99_latency_s, b.value().p99_latency_s);
+  EXPECT_DOUBLE_EQ(a.value().committed_throughput_tps,
+                   b.value().committed_throughput_tps);
+  EXPECT_FALSE(a.value().has_phase_breakdown);
+  EXPECT_TRUE(b.value().has_phase_breakdown);
+  // ToString of the disabled report never mentions the phases line.
+  EXPECT_EQ(a.value().ToString().find("phases:"), std::string::npos);
+  EXPECT_NE(b.value().ToString().find("phases:"), std::string::npos);
+}
+
+TEST(TraceTest, TraceExportIdenticalAcrossJobCounts) {
+  ExperimentConfig config = FastConfig();
+  config.fabric.tracing = true;
+
+  SetParallelJobs(1);
+  auto serial = RunExperiment(config);
+  SetParallelJobs(4);
+  auto parallel = RunExperiment(config);
+  ParallelJobsFromEnv();
+
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.value().traces.size(), 2u);
+  ASSERT_EQ(parallel.value().traces.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(serial.value().traces[i].empty());
+    // Bitwise identical JSONL regardless of the worker count.
+    EXPECT_EQ(serial.value().traces[i], parallel.value().traces[i]);
+  }
+  // Untraced runs carry no trace payload.
+  config.fabric.tracing = false;
+  auto untraced = RunExperiment(config);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_TRUE(untraced.value().traces.empty());
+}
+
+TEST(TraceTest, ExportJsonlIsVersioned) {
+  ExperimentConfig config = ConflictConfig();
+  TracedRun run = RunTraced(config, 3);
+  const Tracer* tracer = run.network->tracer();
+  ASSERT_NE(tracer, nullptr);
+
+  std::string jsonl = tracer->ExportJsonl("test config");
+  std::string header = jsonl.substr(0, jsonl.find('\n'));
+  EXPECT_NE(header.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(header.find("\"kind\": \"fabricsim.trace\""), std::string::npos);
+  EXPECT_NE(header.find("test config"), std::string::npos);
+  // One line per traced tx plus the header and peer-commit rows.
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_GE(lines, 1 + tracer->size());
+}
+
+TEST(BuilderTest, FluentMatchesManualConfig) {
+  ExperimentConfig manual = ExperimentConfig::DefaultsC2();
+  manual.fabric.block_size = 50;
+  manual.arrival_rate_tps = 150;
+  manual.duration = 20 * kSecond;
+  manual.repetitions = 4;
+  manual.base_seed = 9;
+  manual.workload.chaincode = "dv";
+  manual.workload.mix = WorkloadMix::kReadHeavy;
+  manual.workload.zipf_skew = 0.5;
+  manual.fabric.variant = FabricVariant::kFabricPlusPlus;
+  manual.fabric.db_type = DatabaseType::kLevelDb;
+  manual.fabric.submit_read_only = false;
+
+  ExperimentConfig fluent = ExperimentConfig::Builder()
+                                .Cluster(ClusterConfig::C2())
+                                .BlockSize(50)
+                                .RateTps(150)
+                                .Duration(20 * kSecond)
+                                .Repetitions(4)
+                                .Seed(9)
+                                .Chaincode("dv")
+                                .Mix(WorkloadMix::kReadHeavy)
+                                .ZipfSkew(0.5)
+                                .Variant(FabricVariant::kFabricPlusPlus)
+                                .Database(DatabaseType::kLevelDb)
+                                .SubmitReadOnly(false)
+                                .Build();
+  EXPECT_EQ(fluent.Describe(), manual.Describe());
+  EXPECT_EQ(fluent.fabric.submit_read_only, manual.fabric.submit_read_only);
+  EXPECT_EQ(fluent.duration, manual.duration);
+  EXPECT_EQ(fluent.repetitions, manual.repetitions);
+  EXPECT_EQ(fluent.base_seed, manual.base_seed);
+}
+
+TEST(BuilderTest, PolicyPresetResolvesAgainstFinalCluster) {
+  // Policy() before Cluster(): the preset must still be instantiated
+  // for the final (C2, 8-org) topology at Build() time.
+  ExperimentConfig config = ExperimentConfig::Builder()
+                                .Policy(PolicyPreset::kP3Quorum)
+                                .Cluster(ClusterConfig::C2())
+                                .Build();
+  EXPECT_EQ(config.fabric.policy_text,
+            MakePolicy(PolicyPreset::kP3Quorum, 8).ToString());
+  // PolicyText() overrides a previously chosen preset.
+  ExperimentConfig raw = ExperimentConfig::Builder()
+                             .Policy(PolicyPreset::kP3Quorum)
+                             .PolicyText("Org0")
+                             .Build();
+  EXPECT_EQ(raw.fabric.policy_text, "Org0");
+}
+
+TEST(SweepTest, UnifiedSweepMatchesTypedWrapper) {
+  ExperimentConfig config = FastConfig();
+  const std::vector<uint32_t> sizes = {50, 100};
+
+  auto generic = RunSweep(config, BlockSizeSweepSpec(sizes));
+  auto typed = SweepBlockSizes(config, sizes);
+  ASSERT_TRUE(generic.ok());
+  ASSERT_TRUE(typed.ok());
+  ASSERT_EQ(generic.value().size(), 2u);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(generic.value()[i].value,
+                     static_cast<double>(sizes[i]));
+    EXPECT_EQ(generic.value()[i].label,
+              "block_size=" + std::to_string(sizes[i]));
+    EXPECT_EQ(generic.value()[i].report.ledger_txs,
+              typed.value()[i].report.ledger_txs);
+    EXPECT_DOUBLE_EQ(generic.value()[i].report.total_failure_pct,
+                     typed.value()[i].report.total_failure_pct);
+  }
+}
+
+TEST(SweepTest, PolicySpecLabelsAndSpecErrors) {
+  SweepSpec policies = PolicyPresetSweepSpec(
+      {PolicyPreset::kP0AllOrgs, PolicyPreset::kP3Quorum});
+  ASSERT_EQ(policies.labels.size(), 2u);
+  EXPECT_EQ(policies.labels[0], "P0");
+  EXPECT_EQ(policies.labels[1], "P3");
+
+  // A spec without an apply function is rejected up front.
+  SweepSpec broken;
+  broken.parameter = "nothing";
+  broken.values = {1.0};
+  EXPECT_FALSE(RunSweep(FastConfig(), broken).ok());
+  // Mismatched labels are rejected too.
+  SweepSpec mislabeled = BlockSizeSweepSpec({10, 20});
+  mislabeled.labels = {"only-one"};
+  EXPECT_FALSE(RunSweep(FastConfig(), mislabeled).ok());
+}
+
+}  // namespace
+}  // namespace fabricsim
