@@ -17,9 +17,14 @@ int main() {
     for (bool delayed : {false, true}) {
       ExperimentConfig config = BaseC1(rate);
       if (delayed) {
-        config.fabric.delayed_org = 1;
-        config.fabric.injected_delay = 100 * kMillisecond;
-        config.fabric.injected_delay_jitter = 10 * kMillisecond;
+        // Whole-run delay window on org 1 via the fault subsystem; this
+        // is the generalized form of the legacy delayed_org knob and
+        // produces bitwise-identical results (fault_test pins it).
+        DelayWindow window;
+        window.org = 1;
+        window.extra = 100 * kMillisecond;
+        window.jitter = 10 * kMillisecond;
+        config.fabric.faults.Delay(window);
       }
       FailureReport r = MustRun(config);
       std::printf("%8.0f %-10s %12.3f %14.2f %10.2f %12.2f\n", rate,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "src/obs/tracer.h"
@@ -26,10 +27,15 @@ void Client::ScheduleNextArrival() {
 void Client::SubmitOne() {
   TxId tx_id = ++(*p_.tx_id_counter);
   ++p_.stats->txs_generated;
+  Submit(tx_id, p_.workload->Next(p_.rng), /*resubmit_count=*/0);
+}
 
+void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count) {
   PendingTx pending;
-  pending.invocation = p_.workload->Next(p_.rng);
+  pending.invocation = std::move(invocation);
   pending.submit_time = p_.env->now();
+  pending.rr_base = round_robin_;
+  pending.resubmit_count = resubmit_count;
   if (Tracer* tracer = p_.env->tracer()) {
     tracer->OnClientSubmit(tx_id, pending.invocation.function, p_.env->now());
   }
@@ -43,32 +49,102 @@ void Client::SubmitOne() {
         p_.peers_by_org[static_cast<size_t>(org)];
     if (org_peers.empty()) continue;
     targets.push_back(org_peers[round_robin_ % org_peers.size()]);
+    pending.proposed_orgs.push_back(org);
   }
   ++round_robin_;
-  pending.expected = targets.size();
+  if (targets.empty()) {
+    // No org has an endorsing peer, so an endorsement set can never be
+    // gathered. Drop now instead of parking the transaction in
+    // in_flight_ forever (the entry used to leak).
+    ++p_.stats->txs_dropped_no_endorsers;
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnClientDrop(tx_id, TraceTerminal::kNoEndorsers, p_.env->now());
+    }
+    return;
+  }
   in_flight_.emplace(tx_id, std::move(pending));
 
-  for (Peer* peer : targets) {
-    ProposalRequest request;
-    request.tx_id = tx_id;
-    request.invocation = in_flight_[tx_id].invocation;
-    NodeId peer_node = peer->node();
-    if (Tracer* tracer = p_.env->tracer()) {
-      tracer->OnEndorseRequest(tx_id, peer->id(), peer->org(), p_.env->now());
-    }
-    request.reply = [this, peer_node](const ProposalResponse& response) {
-      uint64_t bytes = response.rwset.ByteSize() + 96;
-      // Large rw-sets (DV/SCM range scans) make responses heavy; ship
-      // one copy through the network callback.
-      auto shared = std::make_shared<ProposalResponse>(response);
-      p_.net->Send(*p_.env, peer_node, p_.node, bytes,
-                   [this, shared]() { OnEndorsement(std::move(*shared)); });
-    };
-    p_.net->Send(*p_.env, p_.node, peer_node, 300,
-                 [peer, request = std::move(request)]() mutable {
-                   peer->HandleProposal(std::move(request));
-                 });
+  for (Peer* peer : targets) SendProposal(tx_id, peer, /*attempt=*/0);
+  if (p_.retry.retries_enabled()) ScheduleEndorseTimeout(tx_id, 0);
+}
+
+void Client::SendProposal(TxId tx_id, Peer* peer, int attempt) {
+  ProposalRequest request;
+  request.tx_id = tx_id;
+  request.invocation = in_flight_[tx_id].invocation;
+  NodeId peer_node = peer->node();
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnEndorseRequest(tx_id, peer->id(), peer->org(), attempt,
+                             p_.env->now());
   }
+  request.reply = [this, peer_node](const ProposalResponse& response) {
+    uint64_t bytes = response.rwset.ByteSize() + 96;
+    // Large rw-sets (DV/SCM range scans) make responses heavy; ship
+    // one copy through the network callback.
+    auto shared = std::make_shared<ProposalResponse>(response);
+    p_.net->Send(*p_.env, peer_node, p_.node, bytes,
+                 [this, shared]() { OnEndorsement(std::move(*shared)); });
+  };
+  p_.net->Send(*p_.env, p_.node, peer_node, 300,
+               [peer, request = std::move(request)]() mutable {
+                 peer->HandleProposal(std::move(request));
+               });
+}
+
+void Client::ScheduleEndorseTimeout(TxId tx_id, int attempt) {
+  // Deterministic exponential backoff: attempt k waits
+  // endorse_timeout * backoff_multiplier^k. No jitter draw, so retry
+  // bookkeeping never perturbs the RNG streams.
+  double scale = 1.0;
+  for (int i = 0; i < attempt; ++i) scale *= p_.retry.backoff_multiplier;
+  SimTime wait = static_cast<SimTime>(
+      static_cast<double>(p_.retry.endorse_timeout) * scale);
+  if (wait < 1) wait = 1;
+  p_.env->Schedule(wait, [this, tx_id, attempt]() {
+    OnEndorseTimeout(tx_id, attempt);
+  });
+}
+
+void Client::OnEndorseTimeout(TxId tx_id, int attempt) {
+  auto it = in_flight_.find(tx_id);
+  if (it == in_flight_.end()) return;        // completed in the meantime
+  PendingTx& pending = it->second;
+  if (pending.attempt != attempt) return;    // stale: a retry is running
+  if (attempt >= p_.retry.max_endorse_retries) {
+    ++p_.stats->endorse_timeouts;
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnClientDrop(tx_id, TraceTerminal::kEndorseTimeout,
+                           p_.env->now());
+    }
+    in_flight_.erase(it);
+    return;
+  }
+  int next_attempt = attempt + 1;
+  pending.attempt = next_attempt;
+  ++p_.stats->endorse_retries;
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnClientRetry(tx_id, static_cast<uint32_t>(next_attempt),
+                          p_.env->now());
+  }
+  // Re-propose only to the orgs that never answered, each via its next
+  // round-robin peer — a dead or slow endorser is routed around.
+  for (OrgId org : pending.proposed_orgs) {
+    bool answered = false;
+    for (const ProposalResponse& r : pending.responses) {
+      if (r.endorsement.org_id == org) {
+        answered = true;
+        break;
+      }
+    }
+    if (answered) continue;
+    const std::vector<Peer*>& org_peers =
+        p_.peers_by_org[static_cast<size_t>(org)];
+    Peer* peer = org_peers[(pending.rr_base +
+                            static_cast<uint64_t>(next_attempt)) %
+                           org_peers.size()];
+    SendProposal(tx_id, peer, next_attempt);
+  }
+  ScheduleEndorseTimeout(tx_id, next_attempt);
 }
 
 void Client::OnEndorsement(ProposalResponse response) {
@@ -78,12 +154,34 @@ void Client::OnEndorsement(ProposalResponse response) {
     tracer->OnEndorseResponse(response.tx_id, response.endorsement.peer_id,
                               p_.env->now());
   }
-  it->second.responses.push_back(std::move(response));
-  if (it->second.responses.size() < it->second.expected) return;
-  PendingTx pending = std::move(it->second);
+  PendingTx& pending = it->second;
+  for (const ProposalResponse& r : pending.responses) {
+    if (r.endorsement.peer_id == response.endorsement.peer_id) {
+      // Duplicate endorser: a retried proposal can hit the same peer
+      // again (round-robin wrap in a small org) and yield two
+      // responses. Counting both used to fake policy coverage with a
+      // single signer; keep the first only.
+      return;
+    }
+  }
+  pending.responses.push_back(std::move(response));
+  // Complete once every targeted org has answered — with one target
+  // peer per org and no retries this is exactly the legacy "all
+  // responses arrived" criterion.
+  for (OrgId org : pending.proposed_orgs) {
+    bool answered = false;
+    for (const ProposalResponse& r : pending.responses) {
+      if (r.endorsement.org_id == org) {
+        answered = true;
+        break;
+      }
+    }
+    if (!answered) return;
+  }
+  PendingTx done = std::move(it->second);
   TxId tx_id = it->first;
   in_flight_.erase(it);
-  FinalizeTx(tx_id, std::move(pending));
+  FinalizeTx(tx_id, std::move(done));
 }
 
 void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
@@ -149,6 +247,14 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
   }
 
   ++p_.stats->txs_submitted;
+  if (p_.resubmit_registry != nullptr) {
+    // Register for commit feedback so an MVCC failure can trigger a
+    // resubmission; the harness routes the verdict back via
+    // OnCommittedResult.
+    (*p_.resubmit_registry)[tx_id] = this;
+    resubmit_meta_[tx_id] =
+        ResubmitMeta{pending.invocation, pending.resubmit_count};
+  }
   SimTime collect_cost =
       p_.timing.client_collect_cost *
       static_cast<SimTime>(pending.responses.size());
@@ -160,6 +266,33 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
                    p_.orderer->SubmitTransaction(std::move(*shared_tx));
                  });
   });
+}
+
+void Client::OnCommittedResult(TxId tx_id, TxValidationCode code) {
+  auto it = resubmit_meta_.find(tx_id);
+  if (it == resubmit_meta_.end()) return;
+  ResubmitMeta meta = std::move(it->second);
+  resubmit_meta_.erase(it);
+  if (code != TxValidationCode::kMvccReadConflict &&
+      code != TxValidationCode::kPhantomReadConflict) {
+    return;  // committed, or failed for a non-retryable reason
+  }
+  if (meta.resubmit_count >= p_.retry.max_resubmits) return;
+  ++p_.stats->resubmissions;
+  TxId new_id = ++(*p_.tx_id_counter);
+  ++p_.stats->txs_generated;
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnResubmit(tx_id, new_id, p_.env->now());
+  }
+  auto invocation = std::make_shared<Invocation>(std::move(meta.invocation));
+  int next_count = meta.resubmit_count + 1;
+  // The resubmission re-executes against fresh state — it is a brand
+  // new transaction to the rest of the pipeline, and can of course
+  // conflict again (retry amplification).
+  p_.env->Schedule(p_.retry.resubmit_backoff,
+                   [this, new_id, invocation, next_count]() {
+                     Submit(new_id, std::move(*invocation), next_count);
+                   });
 }
 
 }  // namespace fabricsim

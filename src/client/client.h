@@ -13,6 +13,8 @@
 
 namespace fabricsim {
 
+class Client;
+
 /// Client-side counters that never reach the ledger. Everything else
 /// is measured by parsing the blockchain (paper §4.5).
 struct RunStats {
@@ -30,12 +32,26 @@ struct RunStats {
   /// Fabric++ cycle aborts in the ordering phase, never on the
   /// blockchain.
   uint64_t early_aborts_by_reordering = 0;
+  /// Transactions dropped at submission because no organization had an
+  /// endorsing peer to target.
+  uint64_t txs_dropped_no_endorsers = 0;
+  /// Endorsement re-proposal rounds sent after a timeout.
+  uint64_t endorse_retries = 0;
+  /// Transactions abandoned after exhausting the retry budget.
+  uint64_t endorse_timeouts = 0;
+  /// MVCC/phantom-failed transactions resubmitted as fresh ones.
+  uint64_t resubmissions = 0;
 };
 
 /// An open-loop client process (Caliper worker analogue): draws
 /// invocations from the shared workload, collects endorsements from
 /// one peer per organization mentioned in the policy, assembles the
 /// envelope and submits it for ordering.
+///
+/// Two opt-in robustness behaviours (ClientRetryPolicy, both off by
+/// default): a per-attempt endorsement timeout that re-proposes to the
+/// org's next round-robin peer with exponential backoff, and
+/// resubmission of MVCC-failed transactions as fresh transactions.
 class Client {
  public:
   struct Params {
@@ -60,6 +76,13 @@ class Client {
     RunStats* stats = nullptr;
     /// Shared monotonic transaction-id counter across clients.
     TxId* tx_id_counter = nullptr;
+    ClientRetryPolicy retry;
+    /// Shared tx -> owning-client routing table for commit feedback,
+    /// owned by the harness. nullptr unless resubmission is enabled —
+    /// submitted transaction ids are registered here so the harness can
+    /// deliver each transaction's validation verdict back to its
+    /// client.
+    std::unordered_map<TxId, Client*>* resubmit_registry = nullptr;
   };
 
   explicit Client(Params params);
@@ -67,21 +90,51 @@ class Client {
   /// Schedules the first arrival.
   void Start();
 
+  /// Commit feedback from the harness (resubmission mode only): the
+  /// registered transaction was validated with `code` on the reference
+  /// peer. MVCC/phantom failures within budget are resubmitted as
+  /// fresh transactions after the configured backoff.
+  void OnCommittedResult(TxId tx_id, TxValidationCode code);
+
  private:
   struct PendingTx {
     Invocation invocation;
     SimTime submit_time = 0;
-    size_t expected = 0;
+    /// Orgs actually targeted (those with at least one peer); complete
+    /// once every one of them has responded.
+    std::vector<OrgId> proposed_orgs;
+    /// Round-robin cursor at first submission; retry k re-proposes to
+    /// peer (rr_base + k) % org_size of each unanswered org.
+    uint64_t rr_base = 0;
+    /// Current proposal round (0 = first). Stale timeouts compare
+    /// against it.
+    int attempt = 0;
+    /// How many resubmissions preceded this transaction.
+    int resubmit_count = 0;
     std::vector<ProposalResponse> responses;
+  };
+
+  /// Invocation + budget retained for commit feedback (resubmission
+  /// mode only; erased when the verdict arrives).
+  struct ResubmitMeta {
+    Invocation invocation;
+    int resubmit_count = 0;
   };
 
   void ScheduleNextArrival();
   void SubmitOne();
+  /// Proposes `invocation` under a fresh transaction id; shared by
+  /// first submissions and resubmissions.
+  void Submit(TxId tx_id, Invocation invocation, int resubmit_count);
+  void SendProposal(TxId tx_id, Peer* peer, int attempt);
+  void ScheduleEndorseTimeout(TxId tx_id, int attempt);
+  void OnEndorseTimeout(TxId tx_id, int attempt);
   void OnEndorsement(ProposalResponse response);
   void FinalizeTx(TxId tx_id, PendingTx pending);
 
   Params p_;
   std::unordered_map<TxId, PendingTx> in_flight_;
+  std::unordered_map<TxId, ResubmitMeta> resubmit_meta_;
   uint64_t round_robin_ = 0;
 };
 

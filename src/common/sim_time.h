@@ -14,6 +14,10 @@ inline constexpr SimTime kMicrosecond = 1;
 inline constexpr SimTime kMillisecond = 1000;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
+/// "End of time" sentinel for open-ended windows (e.g. a fault window
+/// that never closes).
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
 /// Converts a SimTime duration to (floating point) seconds.
 inline double ToSeconds(SimTime t) {
   return static_cast<double>(t) / static_cast<double>(kSecond);

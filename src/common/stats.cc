@@ -47,8 +47,8 @@ void SummaryStats::Merge(const SummaryStats& other) {
 }
 
 namespace {
-// Buckets: [0, 0.001ms) then geometric with ratio ~1.05 starting at
-// 1 microsecond, covering up to ~hours in 512 buckets.
+// Buckets: [0, 0.001ms) then geometric with ratio kRatio (1.06)
+// starting at 1 microsecond, covering up to ~hours in 512 buckets.
 constexpr double kFirstBucket = 0.001;
 constexpr double kRatio = 1.06;
 }  // namespace
@@ -76,6 +76,7 @@ void Histogram::Add(double value) {
   buckets_[BucketFor(value)]++;
   count_++;
   sum_ += value;
+  max_ = std::max(max_, value);
 }
 
 double Histogram::mean() const {
@@ -91,11 +92,15 @@ double Histogram::Percentile(double q) const {
     double next = cum + static_cast<double>(buckets_[i]);
     if (next >= target && buckets_[i] > 0) {
       double frac = (target - cum) / static_cast<double>(buckets_[i]);
-      return BucketLow(i) + frac * (BucketHigh(i) - BucketLow(i));
+      // Interpolation inside the bucket holding the largest sample can
+      // land past that sample (e.g. Percentile(1.0) at the bucket's
+      // upper edge); never report more than the observed maximum.
+      return std::min(BucketLow(i) + frac * (BucketHigh(i) - BucketLow(i)),
+                      max_);
     }
     cum = next;
   }
-  return BucketHigh(buckets_.size() - 1);
+  return max_;
 }
 
 }  // namespace fabricsim

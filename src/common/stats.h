@@ -43,8 +43,11 @@ class Histogram {
   void Add(double value);
   size_t count() const { return count_; }
   double mean() const;
+  /// Largest value added so far (0 when empty).
+  double max() const { return max_; }
   /// Approximate p-quantile (q in [0,1]); linear interpolation inside
-  /// the bucket that contains the quantile.
+  /// the bucket that contains the quantile, clamped to the observed
+  /// maximum (so Percentile(1.0) == max()).
   double Percentile(double q) const;
 
  private:
@@ -56,6 +59,7 @@ class Histogram {
   std::vector<uint64_t> buckets_;
   size_t count_ = 0;
   double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace fabricsim

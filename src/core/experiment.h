@@ -131,6 +131,16 @@ class ExperimentConfig::Builder {
     config_.fabric.submit_read_only = on;
     return *this;
   }
+  /// Deterministic fault schedule for every repetition of the run.
+  Builder& Faults(FaultPlan plan) {
+    config_.fabric.faults = std::move(plan);
+    return *this;
+  }
+  /// Client endorsement-retry / MVCC-resubmission policy.
+  Builder& Retry(ClientRetryPolicy retry) {
+    config_.fabric.retry = retry;
+    return *this;
+  }
 
   ExperimentConfig Build() const {
     ExperimentConfig config = config_;

@@ -28,6 +28,10 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
   report.early_aborts = stats.early_aborts_not_serializable;
   report.submitted_txs = stats.txs_submitted;
   report.app_errors = stats.app_errors;
+  report.dropped_no_endorsers = stats.txs_dropped_no_endorsers;
+  report.endorse_retries = stats.endorse_retries;
+  report.endorse_timeouts = stats.endorse_timeouts;
+  report.resubmissions = stats.resubmissions;
 
   if (summary.total > 0) {
     double n = static_cast<double>(summary.total);
@@ -119,6 +123,12 @@ FailureReport FailureReport::Average(
   mean.early_aborts = avg_u([](const auto& r) { return r.early_aborts; });
   mean.submitted_txs = avg_u([](const auto& r) { return r.submitted_txs; });
   mean.app_errors = avg_u([](const auto& r) { return r.app_errors; });
+  mean.dropped_no_endorsers =
+      avg_u([](const auto& r) { return r.dropped_no_endorsers; });
+  mean.endorse_retries = avg_u([](const auto& r) { return r.endorse_retries; });
+  mean.endorse_timeouts =
+      avg_u([](const auto& r) { return r.endorse_timeouts; });
+  mean.resubmissions = avg_u([](const auto& r) { return r.resubmissions; });
   mean.total_failure_pct =
       avg_d([](const auto& r) { return r.total_failure_pct; });
   mean.endorsement_pct = avg_d([](const auto& r) { return r.endorsement_pct; });
@@ -174,6 +184,16 @@ std::string FailureReport::ToString() const {
       "committed, %.1f tps valid\n",
       avg_latency_s, p50_latency_s, p99_latency_s, committed_throughput_tps,
       valid_throughput_tps);
+  if (dropped_no_endorsers > 0 || endorse_retries > 0 ||
+      endorse_timeouts > 0 || resubmissions > 0) {
+    out += StrFormat(
+        "client: retries %llu | timeouts %llu | resubmissions %llu | "
+        "no-endorsers %llu\n",
+        static_cast<unsigned long long>(endorse_retries),
+        static_cast<unsigned long long>(endorse_timeouts),
+        static_cast<unsigned long long>(resubmissions),
+        static_cast<unsigned long long>(dropped_no_endorsers));
+  }
   if (has_phase_breakdown) {
     out += StrFormat(
         "phases: endorse avg %.3fs p99 %.3fs | ordering avg %.3fs p99 %.3fs "

@@ -28,6 +28,13 @@ struct FailureReport {
   uint64_t submitted_txs = 0;
   uint64_t app_errors = 0;
 
+  // Client-robustness counters (all zero unless a ClientRetryPolicy or
+  // a fault plan is active; zero values are omitted from ToString()).
+  uint64_t dropped_no_endorsers = 0;  ///< no org had an endorsing peer
+  uint64_t endorse_retries = 0;       ///< re-proposal rounds after timeouts
+  uint64_t endorse_timeouts = 0;      ///< abandoned after retry budget
+  uint64_t resubmissions = 0;         ///< MVCC failures resubmitted
+
   // Percentages of ledger transactions.
   double total_failure_pct = 0;
   double endorsement_pct = 0;

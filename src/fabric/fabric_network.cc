@@ -178,8 +178,44 @@ Status FabricNetwork::Init() {
   };
   orderer_ = std::make_unique<Orderer>(std::move(oparams));
 
+  // --- Fault plan ------------------------------------------------------
+  // Catch-up source for crash recovery: every peer can replay canonical
+  // blocks it missed. Wired unconditionally — it is inert until a
+  // restart happens.
+  for (auto& peer : peers_) {
+    peer->set_block_fetcher(
+        [this](uint64_t number) { return FetchCanonicalBlock(number); });
+  }
+  if (!config_.faults.empty()) {
+    if (config_.faults.NeedsFaultRng()) {
+      // Forked only when some rule draws randomness: Fork() advances
+      // the parent stream, so an unconditional fork would perturb the
+      // client streams and break empty-plan bitwise identity.
+      net_->set_fault_rng(env_->rng().Fork(5000));
+    }
+    FaultInjector::Actors actors;
+    actors.env = env_;
+    actors.net = net_.get();
+    actors.orderer = orderer_.get();
+    for (auto& peer : peers_) actors.peers.push_back(peer.get());
+    actors.peers_by_org = peers_by_org_;
+    fault_injector_ =
+        std::make_unique<FaultInjector>(config_.faults, std::move(actors));
+    FABRICSIM_RETURN_NOT_OK(fault_injector_->Install());
+  }
+
   initialized_ = true;
   return Status::OK();
+}
+
+std::shared_ptr<const Block> FabricNetwork::FetchCanonicalBlock(
+    uint64_t number) const {
+  auto it = canonical_blocks_.find(number);
+  if (it != canonical_blocks_.end()) return it->second;
+  // Already reference-committed: serve a copy from the recorded ledger.
+  const Block* block = ledger_.GetBlock(number);
+  if (block == nullptr) return nullptr;
+  return std::make_shared<const Block>(*block);
 }
 
 void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
@@ -205,6 +241,10 @@ void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
     params.submit_read_only = config_.submit_read_only;
     params.stats = &stats_;
     params.tx_id_counter = &tx_id_counter_;
+    params.retry = config_.retry;
+    if (config_.retry.resubmit_on_mvcc) {
+      params.resubmit_registry = &resubmit_registry_;
+    }
     clients_.push_back(std::make_unique<Client>(std::move(params)));
     clients_.back()->Start();
   }
@@ -224,6 +264,17 @@ void FabricNetwork::RecordCommit(uint64_t block_number,
     for (size_t i = 0; i < block.txs.size(); ++i) {
       tracer_->OnCommit(block.txs[i].id, block_number, i, block.results[i],
                         env_->now());
+    }
+  }
+  if (!resubmit_registry_.empty()) {
+    // Deliver each transaction's verdict to its client; MVCC failures
+    // may come back as resubmissions.
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      auto rit = resubmit_registry_.find(block.txs[i].id);
+      if (rit == resubmit_registry_.end()) continue;
+      Client* client = rit->second;
+      resubmit_registry_.erase(rit);
+      client->OnCommittedResult(block.txs[i].id, block.results[i].code);
     }
   }
   ledger_.Append(std::move(block));

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/chaincode/chaincode.h"
@@ -11,6 +12,7 @@
 #include "src/ext/fabricpp/reorderer.h"
 #include "src/ext/fabricsharp/fabricsharp.h"
 #include "src/fabric/network_config.h"
+#include "src/faults/fault_injector.h"
 #include "src/ledger/block_store.h"
 #include "src/obs/tracer.h"
 #include "src/ordering/orderer.h"
@@ -77,8 +79,16 @@ class FabricNetwork {
     return fabricsharp_.get();
   }
 
+  /// Fault injector; nullptr when config.faults is empty. Exposes the
+  /// fault transitions that fired during the run.
+  const FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
  private:
   void RecordCommit(uint64_t block_number, const ValidationOutcome& outcome);
+  /// Crash-recovery catch-up source: the canonical block with this
+  /// number, whether it is still awaiting the reference commit or
+  /// already on the recorded ledger. nullptr when not yet cut.
+  std::shared_ptr<const Block> FetchCanonicalBlock(uint64_t number) const;
 
   FabricConfig config_;
   Environment* env_;
@@ -94,6 +104,11 @@ class FabricNetwork {
   std::unique_ptr<Orderer> orderer_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::vector<Peer*>> peers_by_org_;
+  std::unique_ptr<FaultInjector> fault_injector_;
+  /// Routes commit verdicts back to the submitting client (resubmission
+  /// mode only). Declared before clients_ so the clients that point at
+  /// it are destroyed first.
+  std::unordered_map<TxId, Client*> resubmit_registry_;
   std::vector<std::unique_ptr<Client>> clients_;
 
   std::map<uint64_t, std::shared_ptr<Block>> canonical_blocks_;

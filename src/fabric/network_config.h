@@ -5,10 +5,39 @@
 #include <string>
 
 #include "src/common/sim_time.h"
+#include "src/faults/fault_plan.h"
 #include "src/sim/network.h"
 #include "src/statedb/latency_profile.h"
 
 namespace fabricsim {
+
+/// Client-side robustness knobs. Everything is off by default, which
+/// reproduces the paper's fire-and-forget Caliper client exactly.
+struct ClientRetryPolicy {
+  /// Per-attempt endorsement-collection timeout. 0 disables timeouts
+  /// and retries entirely (legacy behaviour): the client waits forever
+  /// and a lost proposal strands the transaction.
+  SimTime endorse_timeout = 0;
+  /// Re-proposal rounds after the first before the client gives up.
+  /// Each retry goes to the org's next round-robin peer and only
+  /// targets the orgs that have not answered yet.
+  int max_endorse_retries = 2;
+  /// Exponential backoff: the timeout for attempt k (0-based) is
+  /// endorse_timeout * backoff_multiplier^k. Deterministic — no jitter
+  /// draw, so enabling retries in a run without timeouts changes
+  /// nothing.
+  double backoff_multiplier = 2.0;
+  /// Opt-in resubmission of MVCC/phantom-failed transactions as fresh
+  /// transactions after a backoff — the "retry amplification" loop:
+  /// each resubmission re-reads hot keys and can conflict again.
+  bool resubmit_on_mvcc = false;
+  /// Resubmission budget per original transaction.
+  int max_resubmits = 2;
+  /// Delay between learning of the MVCC failure and re-endorsing.
+  SimTime resubmit_backoff = 50 * kMillisecond;
+
+  bool retries_enabled() const { return endorse_timeout > 0; }
+};
 
 /// Which Fabric build runs the experiment (paper §4.5).
 enum class FabricVariant {
@@ -87,10 +116,21 @@ struct FabricConfig {
 
   /// Pumba-style chaos injection: extra one-way delay applied to every
   /// peer of `delayed_org` (< 0 disables). Paper Fig. 16 uses
-  /// 100 ± 10 ms on one organization.
+  /// 100 ± 10 ms on one organization. Kept as the legacy shorthand for
+  /// a whole-run DelayWindow on one org; `faults` below is the general
+  /// mechanism.
   int delayed_org = -1;
   SimTime injected_delay = 0;
   SimTime injected_delay_jitter = 0;
+
+  /// Deterministic fault schedule (crashes, pauses, partitions, delay
+  /// and loss windows). Empty by default; an empty plan leaves the run
+  /// bitwise identical to a build without the fault subsystem.
+  FaultPlan faults;
+
+  /// Client endorsement timeout/retry + MVCC resubmission. All off by
+  /// default (the paper's client behaviour).
+  ClientRetryPolicy retry;
 
   /// Whether clients submit read-only transactions for ordering (the
   /// paper's default flow does; its recommendation #4 is not to).

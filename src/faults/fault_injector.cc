@@ -1,0 +1,121 @@
+#include "src/faults/fault_injector.h"
+
+#include <utility>
+
+#include "src/obs/tracer.h"
+
+namespace fabricsim {
+
+const char* FaultEventKindName(FaultEventRecord::Kind kind) {
+  switch (kind) {
+    case FaultEventRecord::Kind::kPeerCrash:
+      return "peer_crash";
+    case FaultEventRecord::Kind::kPeerRestart:
+      return "peer_restart";
+    case FaultEventRecord::Kind::kOrdererPause:
+      return "orderer_pause";
+    case FaultEventRecord::Kind::kOrdererResume:
+      return "orderer_resume";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, Actors actors)
+    : plan_(std::move(plan)), actors_(std::move(actors)) {}
+
+void FaultInjector::Fire(FaultEventRecord::Kind kind, int32_t subject) {
+  SimTime now = actors_.env->now();
+  events_.push_back(FaultEventRecord{kind, subject, now});
+  if (Tracer* tracer = actors_.env->tracer()) {
+    tracer->OnFaultEvent(FaultEventKindName(kind), subject, now);
+  }
+}
+
+Status FaultInjector::Install() {
+  if (installed_) {
+    return Status::FailedPrecondition("fault plan already installed");
+  }
+  installed_ = true;
+
+  for (const DelayWindow& window : plan_.delay_windows) {
+    if ((window.org >= 0) == (window.node >= 0)) {
+      return Status::InvalidArgument(
+          "delay window must target exactly one of org or node");
+    }
+    if (window.from >= window.to) {
+      return Status::InvalidArgument("delay window is empty (from >= to)");
+    }
+    InjectedDelay delay{window.extra, window.jitter, window.from, window.to};
+    if (window.node >= 0) {
+      actors_.net->InjectDelay(window.node, delay);
+      continue;
+    }
+    if (static_cast<size_t>(window.org) >= actors_.peers_by_org.size() ||
+        actors_.peers_by_org[static_cast<size_t>(window.org)].empty()) {
+      return Status::OutOfRange("delay window targets an unknown org");
+    }
+    for (Peer* peer : actors_.peers_by_org[static_cast<size_t>(window.org)]) {
+      actors_.net->InjectDelay(peer->node(), delay);
+    }
+  }
+
+  for (const LinkFaultRule& rule : plan_.link_faults) {
+    if (rule.from >= rule.to) {
+      return Status::InvalidArgument("link fault window is empty (from >= to)");
+    }
+    if (rule.drop_prob < 0.0 || rule.drop_prob > 1.0) {
+      return Status::InvalidArgument("link fault drop_prob outside [0, 1]");
+    }
+    if (rule.drop_prob > 0.0 && rule.drop_prob < 1.0 &&
+        !actors_.net->has_fault_rng()) {
+      return Status::FailedPrecondition(
+          "probabilistic link fault requires a fault RNG in the network");
+    }
+    actors_.net->AddLinkFault(rule);
+  }
+
+  for (const PeerCrashFault& crash : plan_.peer_crashes) {
+    if (crash.peer < 0 ||
+        static_cast<size_t>(crash.peer) >= actors_.peers.size()) {
+      return Status::OutOfRange("crash fault targets an unknown peer");
+    }
+    if (crash.restart_at != kSimTimeNever && crash.restart_at <= crash.at) {
+      return Status::InvalidArgument("peer restart precedes its crash");
+    }
+    Peer* peer = actors_.peers[static_cast<size_t>(crash.peer)];
+    actors_.env->ScheduleAt(crash.at, [this, peer]() {
+      peer->Crash();
+      Fire(FaultEventRecord::Kind::kPeerCrash, peer->id());
+    });
+    if (crash.restart_at != kSimTimeNever) {
+      actors_.env->ScheduleAt(crash.restart_at, [this, peer]() {
+        peer->Restart();
+        Fire(FaultEventRecord::Kind::kPeerRestart, peer->id());
+      });
+    }
+  }
+
+  for (const OrdererPauseFault& pause : plan_.orderer_pauses) {
+    if (actors_.orderer == nullptr) {
+      return Status::FailedPrecondition(
+          "orderer pause scheduled without an orderer");
+    }
+    if (pause.resume_at != kSimTimeNever && pause.resume_at <= pause.at) {
+      return Status::InvalidArgument("orderer resume precedes its pause");
+    }
+    actors_.env->ScheduleAt(pause.at, [this]() {
+      actors_.orderer->Pause();
+      Fire(FaultEventRecord::Kind::kOrdererPause, -1);
+    });
+    if (pause.resume_at != kSimTimeNever) {
+      actors_.env->ScheduleAt(pause.resume_at, [this]() {
+        actors_.orderer->Resume();
+        Fire(FaultEventRecord::Kind::kOrdererResume, -1);
+      });
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,44 @@
+#include "src/faults/fault_plan.h"
+
+namespace fabricsim {
+
+bool FaultPlan::NeedsFaultRng() const {
+  for (const LinkFaultRule& rule : link_faults) {
+    if (rule.drop_prob > 0.0 && rule.drop_prob < 1.0) return true;
+  }
+  return false;
+}
+
+FaultPlan& FaultPlan::Delay(DelayWindow window) {
+  delay_windows.push_back(window);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Crash(PeerId peer, SimTime at, SimTime restart_at) {
+  peer_crashes.push_back(PeerCrashFault{peer, at, restart_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::PauseOrderer(SimTime at, SimTime resume_at) {
+  orderer_pauses.push_back(OrdererPauseFault{at, resume_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::DropLink(LinkFaultRule rule) {
+  link_faults.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Partition(const std::vector<NodeId>& side_a,
+                                const std::vector<NodeId>& side_b,
+                                SimTime from, SimTime to) {
+  for (NodeId a : side_a) {
+    for (NodeId b : side_b) {
+      link_faults.push_back(LinkFaultRule{a, b, /*bidirectional=*/true,
+                                          /*drop_prob=*/1.0, from, to});
+    }
+  }
+  return *this;
+}
+
+}  // namespace fabricsim

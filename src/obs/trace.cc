@@ -17,6 +17,10 @@ const char* TraceTerminalToString(TraceTerminal terminal) {
       return "read_only_skipped";
     case TraceTerminal::kEarlyAborted:
       return "early_aborted";
+    case TraceTerminal::kNoEndorsers:
+      return "no_endorsers";
+    case TraceTerminal::kEndorseTimeout:
+      return "endorse_timeout";
   }
   return "unknown";
 }
@@ -41,16 +45,31 @@ std::string TxTrace::ToJson() const {
     out += StrFormat(", \"block\": %llu, \"index\": %u",
                      static_cast<unsigned long long>(block_number), tx_index);
   }
+  // Retry/resubmission fields only appear when used, so fault-free
+  // exports stay byte-identical to the previous schema.
+  if (retries != 0) {
+    out += StrFormat(", \"retries\": %u", retries);
+  }
+  if (resubmit_of != 0) {
+    out += StrFormat(", \"resubmit_of\": %llu",
+                     static_cast<unsigned long long>(resubmit_of));
+  }
+  if (resubmitted_as != 0) {
+    out += StrFormat(", \"resubmitted_as\": %llu",
+                     static_cast<unsigned long long>(resubmitted_as));
+  }
   out += StrFormat(", \"spans\": {\"submit\": %lld",
                    static_cast<long long>(client_submit));
   out += ", \"endorsers\": [";
   for (size_t i = 0; i < endorsers.size(); ++i) {
     const EndorserSpan& e = endorsers[i];
     out += StrFormat(
-        "%s{\"peer\": %d, \"org\": %d, \"sent\": %lld, \"received\": %lld}",
+        "%s{\"peer\": %d, \"org\": %d, \"sent\": %lld, \"received\": %lld",
         i == 0 ? "" : ", ", e.peer_id, e.org_id,
         static_cast<long long>(e.request_sent),
         static_cast<long long>(e.response_received));
+    if (e.attempt != 0) out += StrFormat(", \"attempt\": %u", e.attempt);
+    out += "}";
   }
   out += "]";
   if (endorsed != 0) {

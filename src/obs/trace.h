@@ -15,6 +15,9 @@ namespace fabricsim {
 struct EndorserSpan {
   PeerId peer_id = -1;
   OrgId org_id = -1;
+  /// Proposal round that sent this request (0 = first; >0 are retries
+  /// after an endorsement timeout).
+  uint32_t attempt = 0;
   SimTime request_sent = 0;
   SimTime response_received = 0;  ///< 0 while in flight
 };
@@ -34,6 +37,11 @@ enum class TraceTerminal : uint8_t {
   /// Aborted during the ordering phase (Fabric++ cycle removal or
   /// FabricSharp serializability check); never reached the ledger.
   kEarlyAborted,
+  /// Dropped at submission: no organization had an endorsing peer.
+  kNoEndorsers,
+  /// Abandoned by the client after exhausting its endorsement retry
+  /// budget (only with a ClientRetryPolicy timeout configured).
+  kEndorseTimeout,
 };
 
 const char* TraceTerminalToString(TraceTerminal terminal);
@@ -77,6 +85,13 @@ struct TxTrace {
   TxValidationCode final_code = TxValidationCode::kNotValidated;
   uint64_t block_number = 0;
   uint32_t tx_index = 0;
+  /// Endorsement re-proposal rounds this transaction needed (0 = none).
+  uint32_t retries = 0;
+  /// Resubmission chain links (0 = none): the failed transaction this
+  /// one re-attempts, and the fresh transaction that re-attempted this
+  /// one after it failed with an MVCC/phantom conflict.
+  TxId resubmit_of = 0;
+  TxId resubmitted_as = 0;
 
   // --- phase spans ---------------------------------------------------
   SimTime client_submit = 0;    ///< proposals sent to the endorsers

@@ -114,6 +114,12 @@ std::string Tracer::ExportJsonl(const std::string& config_echo) const {
         static_cast<unsigned long long>(key.first), key.second,
         static_cast<long long>(time)));
   }
+  for (const FaultEventRow& event : fault_events_) {
+    writer.AddRow(StrFormat(
+        "{\"type\": \"fault\", \"kind\": \"%s\", \"subject\": %d, "
+        "\"at\": %lld}",
+        event.kind, event.subject, static_cast<long long>(event.at)));
+  }
   return writer.Render();
 }
 

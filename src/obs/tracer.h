@@ -42,12 +42,14 @@ class Tracer {
     trace.function = function;
     trace.client_submit = now;
   }
-  void OnEndorseRequest(TxId id, PeerId peer, OrgId org, SimTime now) {
+  void OnEndorseRequest(TxId id, PeerId peer, OrgId org, uint32_t attempt,
+                        SimTime now) {
     TxTrace& trace = Touch(id);
     if (trace.endorsers.empty()) trace.endorsers.reserve(4);
     EndorserSpan span;
     span.peer_id = peer;
     span.org_id = org;
+    span.attempt = attempt;
     span.request_sent = now;
     trace.endorsers.push_back(span);
   }
@@ -65,10 +67,28 @@ class Tracer {
     trace.read_only = read_only;
     trace.endorsed = now;
   }
-  /// Client-side drop: app error or read-only skip.
+  /// Client-side drop: app error, read-only skip, no endorsers, or
+  /// endorsement-retry exhaustion.
   void OnClientDrop(TxId id, TraceTerminal reason, SimTime now) {
     (void)now;
     Touch(id).terminal = reason;
+  }
+  /// The client re-proposed after an endorsement timeout; `attempt` is
+  /// the new (1-based) retry round.
+  void OnClientRetry(TxId id, uint32_t attempt, SimTime now) {
+    (void)now;
+    Touch(id).retries = attempt;
+  }
+  /// An MVCC-failed transaction was resubmitted as `new_id`.
+  void OnResubmit(TxId failed_id, TxId new_id, SimTime now) {
+    (void)now;
+    Touch(failed_id).resubmitted_as = new_id;
+    Touch(new_id).resubmit_of = failed_id;
+  }
+  /// A fault transition fired (peer crash/restart, orderer
+  /// pause/resume). `kind` must point at a static string.
+  void OnFaultEvent(const char* kind, int32_t subject, SimTime now) {
+    fault_events_.push_back(FaultEventRow{kind, subject, now});
   }
   void OnOrdererEnqueue(TxId id, SimTime now) {
     Touch(id).orderer_enqueue = now;
@@ -112,6 +132,15 @@ class Tracer {
   const std::map<std::pair<uint64_t, PeerId>, SimTime>& peer_commits() const {
     return peer_commits_;
   }
+  /// Fault transitions observed, in simulated-time order.
+  struct FaultEventRow {
+    const char* kind;
+    int32_t subject;
+    SimTime at;
+  };
+  const std::vector<FaultEventRow>& fault_events() const {
+    return fault_events_;
+  }
   /// The keys most often named in MVCC/phantom failure attributions,
   /// most-conflicting first (ties broken by key for determinism).
   std::vector<std::pair<std::string, uint64_t>> TopConflictingKeys(
@@ -145,6 +174,7 @@ class Tracer {
   std::vector<TxTrace> traces_;
   size_t size_ = 0;  ///< number of touched (non-default) slots
   std::map<std::pair<uint64_t, PeerId>, SimTime> peer_commits_;
+  std::vector<FaultEventRow> fault_events_;
   /// Aggregates are caches over traces_, rebuilt on demand — keeping
   /// histogram/map updates off the per-commit hot path.
   mutable bool aggregates_dirty_ = false;

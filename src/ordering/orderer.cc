@@ -28,6 +28,28 @@ void Orderer::SubmitTransaction(Transaction tx) {
   if (Tracer* tracer = env_->tracer()) {
     tracer->OnOrdererEnqueue(tx.id, env_->now());
   }
+  if (paused_) {
+    ++txs_deferred_while_paused_;
+    paused_backlog_.push_back(std::move(tx));
+    return;
+  }
+  Ingest(std::move(tx));
+}
+
+void Orderer::Pause() { paused_ = true; }
+
+void Orderer::Resume() {
+  if (!paused_) return;
+  paused_ = false;
+  std::vector<Transaction> backlog = std::move(paused_backlog_);
+  paused_backlog_.clear();
+  for (Transaction& tx : backlog) Ingest(std::move(tx));
+  // A timeout that fired mid-pause was swallowed; transactions batched
+  // before the pause must not wait forever.
+  if (cutter_.HasPending() && !timeout_armed_) ArmTimeout();
+}
+
+void Orderer::Ingest(Transaction tx) {
   auto shared_tx = std::make_shared<Transaction>(std::move(tx));
   queue_.Submit(
       *env_, [this]() -> SimTime { return timing_.orderer_per_tx_cost; },
@@ -74,6 +96,7 @@ void Orderer::ArmTimeout() {
     if (generation != timeout_generation_) return;  // cancelled by a cut
     timeout_armed_ = false;
     ++timeout_generation_;
+    if (paused_) return;  // swallowed; Resume() re-arms if needed
     if (cutter_.HasPending()) {
       CutBlock(cutter_.CutPending(), BlockCutReason::kTimeout);
     }
@@ -82,7 +105,11 @@ void Orderer::ArmTimeout() {
 
 void Orderer::CutBlock(std::vector<Transaction> txs, BlockCutReason reason) {
   auto block = std::make_shared<Block>();
-  block->number = next_block_number_++;
+  // The number is provisional until the cut is known to deliver (the
+  // block processor may abort every transaction): delivered numbers
+  // must stay dense and monotone, so the counter only advances for
+  // blocks that actually ship.
+  block->number = next_block_number_;
   block->cut_time = env_->now();
   block->cut_reason = reason;
   block->txs = std::move(txs);
@@ -105,11 +132,10 @@ void Orderer::CutBlock(std::vector<Transaction> txs, BlockCutReason reason) {
       }
     }
     if (block->txs.empty()) {
-      // Everything was aborted at the cut; nothing to deliver.
-      --next_block_number_;
-      return;
+      return;  // everything aborted at the cut; no number consumed
     }
   }
+  ++next_block_number_;
 
   if (Tracer* tracer = env_->tracer()) {
     for (uint32_t i = 0; i < block->txs.size(); ++i) {

@@ -90,12 +90,30 @@ class Orderer {
   /// through the network).
   void SubmitTransaction(Transaction tx);
 
+  /// Fault injection: the ordering service stops processing. Arriving
+  /// envelopes are buffered at ingress (clients see no error, only
+  /// latency — a Raft leader election or Kafka hiccup); block cutting
+  /// and timeouts are suspended. Work already on the serial queue
+  /// drains.
+  void Pause();
+
+  /// Ends a pause: buffered envelopes are flushed in arrival order and
+  /// the batch timeout is re-armed if the cutter holds transactions.
+  void Resume();
+
+  bool paused() const { return paused_; }
+
   uint64_t blocks_cut() const { return next_block_number_ - 1; }
   uint64_t txs_received() const { return txs_received_; }
   uint64_t txs_early_aborted() const { return txs_early_aborted_; }
+  /// Envelopes that arrived during a pause and waited for the resume.
+  uint64_t txs_deferred_while_paused() const {
+    return txs_deferred_while_paused_;
+  }
   const WorkQueue& queue() const { return queue_; }
 
  private:
+  void Ingest(Transaction tx);
   void HandleAdmitted(Transaction tx);
   void CutBlock(std::vector<Transaction> txs, BlockCutReason reason);
   void ArmTimeout();
@@ -120,6 +138,9 @@ class Orderer {
   uint64_t txs_early_aborted_ = 0;
   uint64_t timeout_generation_ = 0;
   bool timeout_armed_ = false;
+  bool paused_ = false;
+  std::vector<Transaction> paused_backlog_;
+  uint64_t txs_deferred_while_paused_ = 0;
 };
 
 }  // namespace fabricsim

@@ -48,24 +48,37 @@ Status Peer::Bootstrap(const std::vector<WriteItem>& writes) {
 }
 
 void Peer::HandleProposal(ProposalRequest request) {
+  if (!alive_) {
+    // The endorsing gRPC endpoint is down: the proposal vanishes and
+    // the client only learns through its own timeout.
+    ++proposals_dropped_;
+    return;
+  }
   auto result = std::make_shared<EndorsementResult>();
+  auto executed = std::make_shared<bool>(false);
   auto req = std::make_shared<ProposalRequest>(std::move(request));
   endorse_queue_.Submit(
       *env_,
-      [this, result, req]() -> SimTime {
+      [this, result, executed, req]() -> SimTime {
+        if (!alive_) return 0;  // crashed while queued: abandon silently
         // Chaincode simulation against the endorsement view *as of
         // now* — the staleness of this view is the root of both
         // endorsement mismatches and MVCC conflicts.
         *result = SimulateProposal(*endorse_view_, *chaincode_,
                                    req->invocation,
                                    db_profile_.supports_rich_queries);
+        *executed = true;
         SimTime service = timing_.proposal_overhead +
                           db_profile_.EndorseCost(result->rwset) +
                           timing_.endorsement_sign_cost;
         return static_cast<SimTime>(static_cast<double>(service) *
                                     JitterFactor());
       },
-      [this, result, req]() {
+      [this, result, executed, req]() {
+        if (!*executed || !alive_) {
+          ++proposals_dropped_;
+          return;
+        }
         ProposalResponse response;
         response.tx_id = req->tx_id;
         response.app_ok = result->app_status.ok();
@@ -78,8 +91,45 @@ void Peer::HandleProposal(ProposalRequest request) {
 }
 
 void Peer::HandleBlock(std::shared_ptr<const Block> block) {
+  if (!alive_) {
+    ++blocks_dropped_;
+    return;
+  }
+  if (block->number < next_to_enqueue_) {
+    return;  // late duplicate of a block already replayed during catch-up
+  }
   reorder_buffer_[block->number] = std::move(block);
   TryProcessBuffered();
+}
+
+void Peer::Crash() {
+  alive_ = false;
+  // Process memory is lost, including blocks parked for reordering;
+  // catch-up refetches them from the canonical chain (every delivered
+  // block was recorded there at cut time).
+  blocks_dropped_ += reorder_buffer_.size();
+  reorder_buffer_.clear();
+}
+
+void Peer::Restart() {
+  if (alive_) return;
+  alive_ = true;
+  CatchUp();
+}
+
+void Peer::CatchUp() {
+  if (!block_fetcher_) return;
+  // Replay every canonical block cut while we were down, oldest first,
+  // through the normal validation pipeline (the replicated validation
+  // work is real; the shared outcome cache still spares recomputation).
+  // Blocks cut after the restart arrive through regular delivery and
+  // find the chain already dense.
+  while (std::shared_ptr<const Block> block =
+             block_fetcher_(next_to_enqueue_)) {
+    ++blocks_replayed_;
+    reorder_buffer_[block->number] = std::move(block);
+    TryProcessBuffered();
+  }
 }
 
 void Peer::TryProcessBuffered() {

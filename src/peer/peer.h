@@ -90,6 +90,29 @@ class Peer {
   /// arrive out of order; the peer buffers and validates sequentially.
   void HandleBlock(std::shared_ptr<const Block> block);
 
+  /// Source of canonical blocks by number for crash recovery, wired by
+  /// the harness. Returns nullptr when no block with that number has
+  /// been cut yet.
+  using BlockFetcher = std::function<std::shared_ptr<const Block>(uint64_t)>;
+  void set_block_fetcher(BlockFetcher fetcher) {
+    block_fetcher_ = std::move(fetcher);
+  }
+
+  /// Crash-stop: the peer stops accepting work — proposals and block
+  /// deliveries that arrive while down are dropped on the floor, and
+  /// queued endorsements are abandoned without a reply. Work already
+  /// inside the validation pipeline still drains (journal recovery
+  /// replays it on restart; modelling that replay separately is below
+  /// the simulator's resolution), so committed state stays consistent.
+  void Crash();
+
+  /// Brings a crashed peer back and catches it up: every canonical
+  /// block it missed is fetched via the block fetcher and replayed, in
+  /// order, through the normal validation pipeline.
+  void Restart();
+
+  bool alive() const { return alive_; }
+
   PeerId id() const { return id_; }
   OrgId org() const { return org_; }
   NodeId node() const { return node_; }
@@ -106,7 +129,15 @@ class Peer {
   const WorkQueue& endorse_queue() const { return endorse_queue_; }
   const WorkQueue& validate_queue() const { return validate_queue_; }
 
+  /// Proposals lost because the peer was down (never answered).
+  uint64_t proposals_dropped() const { return proposals_dropped_; }
+  /// Block deliveries lost because the peer was down.
+  uint64_t blocks_dropped() const { return blocks_dropped_; }
+  /// Blocks replayed from the canonical chain during restarts.
+  uint64_t blocks_replayed() const { return blocks_replayed_; }
+
  private:
+  void CatchUp();
   void TryProcessBuffered();
   void ProcessBlock(std::shared_ptr<const Block> block);
   SimTime ValidationServiceTime(const Block& block,
@@ -143,6 +174,12 @@ class Peer {
   uint64_t next_to_enqueue_ = 1;
   std::map<uint64_t, std::shared_ptr<const Block>> reorder_buffer_;
   SimTime last_snapshot_apply_ = 0;
+
+  bool alive_ = true;
+  BlockFetcher block_fetcher_;
+  uint64_t proposals_dropped_ = 0;
+  uint64_t blocks_dropped_ = 0;
+  uint64_t blocks_replayed_ = 0;
 };
 
 }  // namespace fabricsim

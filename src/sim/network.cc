@@ -4,7 +4,8 @@
 
 namespace fabricsim {
 
-SimTime Network::SampleDelay(NodeId from, NodeId to, uint64_t bytes) {
+SimTime Network::SampleDelay(NodeId from, NodeId to, uint64_t bytes,
+                             SimTime now) {
   if (from == to) return 0;
   double delay = static_cast<double>(config_.base_latency);
   if (config_.jitter > 0) {
@@ -17,22 +18,46 @@ SimTime Network::SampleDelay(NodeId from, NodeId to, uint64_t bytes) {
   for (NodeId node : {from, to}) {
     auto it = injected_.find(node);
     if (it == injected_.end()) continue;
-    double extra = static_cast<double>(it->second.extra);
-    if (it->second.jitter > 0) {
-      extra += rng_.UniformRange(-static_cast<double>(it->second.jitter),
-                                 static_cast<double>(it->second.jitter));
+    for (const InjectedDelay& window : it->second) {
+      if (now < window.from || now >= window.to) continue;
+      double extra = static_cast<double>(window.extra);
+      if (window.jitter > 0) {
+        extra += rng_.UniformRange(-static_cast<double>(window.jitter),
+                                   static_cast<double>(window.jitter));
+      }
+      delay += extra;
     }
-    delay += extra;
   }
   if (delay < 1.0) delay = 1.0;
   return static_cast<SimTime>(delay);
+}
+
+bool Network::ShouldDrop(NodeId from, NodeId to, SimTime now) {
+  for (const LinkFaultRule& rule : link_faults_) {
+    if (now < rule.from || now >= rule.to) continue;
+    bool forward = (rule.a == -1 || rule.a == from) &&
+                   (rule.b == -1 || rule.b == to);
+    bool reverse = rule.bidirectional && (rule.a == -1 || rule.a == to) &&
+                   (rule.b == -1 || rule.b == from);
+    if (!forward && !reverse) continue;
+    if (rule.drop_prob >= 1.0) return true;
+    if (rule.drop_prob <= 0.0) continue;
+    if (fault_rng_.has_value() && fault_rng_->Bernoulli(rule.drop_prob)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Network::Send(Environment& env, NodeId from, NodeId to, uint64_t bytes,
                    std::function<void()> deliver) {
   ++messages_sent_;
   bytes_sent_ += bytes;
-  env.Schedule(SampleDelay(from, to, bytes), std::move(deliver));
+  if (!link_faults_.empty() && ShouldDrop(from, to, env.now())) {
+    ++messages_dropped_;
+    return;  // lost in transit; the callback is never invoked
+  }
+  env.Schedule(SampleDelay(from, to, bytes, env.now()), std::move(deliver));
 }
 
 }  // namespace fabricsim

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
@@ -28,9 +30,26 @@ struct NetworkConfig {
 
 /// Pumba-style injected delay for a node: extra ± jitter, e.g. the
 /// paper's 100 ± 10 ms on all peers of one organization (Fig. 16).
+/// Active only while the simulated clock is inside [from, to); the
+/// defaults cover the whole run, matching the legacy always-on knob.
 struct InjectedDelay {
   SimTime extra = 0;
   SimTime jitter = 0;
+  SimTime from = 0;
+  SimTime to = kSimTimeNever;
+};
+
+/// Per-link message-loss rule: messages between `a` and `b` (either
+/// direction when `bidirectional`, -1 wildcards a side) are dropped
+/// with probability `drop_prob` while now is in [from, to).
+/// drop_prob >= 1 is a hard partition and consumes no randomness.
+struct LinkFaultRule {
+  NodeId a = -1;
+  NodeId b = -1;
+  bool bidirectional = true;
+  double drop_prob = 1.0;
+  SimTime from = 0;
+  SimTime to = kSimTimeNever;
 };
 
 /// Simulated message-passing network with deterministic, seeded
@@ -42,28 +61,48 @@ class Network {
   Network(NetworkConfig config, Rng rng)
       : config_(config), rng_(std::move(rng)) {}
 
-  /// Adds a chaos-injected delay applied to every message into or out
-  /// of `node`.
+  /// Adds a chaos-injected delay window applied to every message into
+  /// or out of `node`. Multiple windows per node stack.
   void InjectDelay(NodeId node, InjectedDelay delay) {
-    injected_[node] = delay;
+    injected_[node].push_back(delay);
   }
 
-  /// Samples the one-way delay for a message of `bytes` from -> to.
-  SimTime SampleDelay(NodeId from, NodeId to, uint64_t bytes);
+  /// Adds a probabilistic message-loss rule. Rules with a drop_prob in
+  /// (0, 1) draw from the fault RNG (see set_fault_rng); install one
+  /// before adding such rules.
+  void AddLinkFault(LinkFaultRule rule) { link_faults_.push_back(rule); }
 
-  /// Schedules `deliver` after the sampled network delay.
+  /// Dedicated RNG stream for loss decisions, so probabilistic drops
+  /// never perturb the delay-jitter stream (a run whose faults are all
+  /// deterministic stays draw-for-draw identical to a fault-free run).
+  void set_fault_rng(Rng rng) { fault_rng_ = std::move(rng); }
+  bool has_fault_rng() const { return fault_rng_.has_value(); }
+
+  /// Samples the one-way delay for a message of `bytes` from -> to at
+  /// simulated time `now` (delay windows are evaluated against `now`).
+  SimTime SampleDelay(NodeId from, NodeId to, uint64_t bytes, SimTime now);
+
+  /// True when a loss rule active at `now` drops this message.
+  bool ShouldDrop(NodeId from, NodeId to, SimTime now);
+
+  /// Schedules `deliver` after the sampled network delay, unless an
+  /// active link fault drops the message (then `deliver` never runs).
   void Send(Environment& env, NodeId from, NodeId to, uint64_t bytes,
             std::function<void()> deliver);
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   NetworkConfig config_;
   Rng rng_;
-  std::unordered_map<NodeId, InjectedDelay> injected_;
+  std::unordered_map<NodeId, std::vector<InjectedDelay>> injected_;
+  std::vector<LinkFaultRule> link_faults_;
+  std::optional<Rng> fault_rng_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace fabricsim

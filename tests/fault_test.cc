@@ -1,0 +1,375 @@
+// Fault-injection subsystem tests: empty-plan bitwise identity against
+// pre-PR golden fingerprints, DelayWindow equivalence with the legacy
+// delayed_org knob, determinism across FABRICSIM_JOBS under an active
+// fault mix, crash/restart catch-up correctness, orderer pause/resume,
+// plan validation, and the retry-amplification experiment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/common/strings.h"
+#include "src/core/runner.h"
+#include "src/fabric/fabric_network.h"
+#include "src/workload/paper_workloads.h"
+
+namespace fabricsim {
+namespace {
+
+// Exhaustive numeric fingerprint of a report: integer counters plus
+// %.17g-rendered doubles, so two reports compare bit-for-bit. The
+// format matches the generator that produced the golden strings below
+// against the pre-PR tree.
+std::string Fingerprint(const FailureReport& r) {
+  std::string out;
+  out += StrFormat(
+      "ledger=%llu valid=%llu endorse=%llu mvcc_intra=%llu "
+      "mvcc_inter=%llu phantom=%llu submitted=%llu app=%llu\n",
+      static_cast<unsigned long long>(r.ledger_txs),
+      static_cast<unsigned long long>(r.valid_txs),
+      static_cast<unsigned long long>(r.endorsement_failures),
+      static_cast<unsigned long long>(r.mvcc_intra),
+      static_cast<unsigned long long>(r.mvcc_inter),
+      static_cast<unsigned long long>(r.phantom),
+      static_cast<unsigned long long>(r.submitted_txs),
+      static_cast<unsigned long long>(r.app_errors));
+  out += StrFormat("pct=%.17g/%.17g/%.17g/%.17g/%.17g\n", r.total_failure_pct,
+                   r.endorsement_pct, r.mvcc_pct, r.phantom_pct,
+                   r.early_abort_pct);
+  out += StrFormat("lat=%.17g/%.17g/%.17g tput=%.17g/%.17g\n", r.avg_latency_s,
+                   r.p50_latency_s, r.p99_latency_s, r.committed_throughput_tps,
+                   r.valid_throughput_tps);
+  return out;
+}
+
+// Golden fingerprints recorded against the tree BEFORE the fault
+// subsystem existed (default C1 config, 20 s at 100 tps, seed 42).
+// An empty FaultPlan must keep reproducing these byte-for-byte: the
+// fault layer is required to be a strict no-op when unused — no extra
+// RNG draws, no extra events, no perturbed fork streams.
+constexpr char kGoldenDefault[] =
+    "ledger=1998 valid=889 endorse=21 mvcc_intra=808 mvcc_inter=280 "
+    "phantom=0 submitted=1998 app=0\n"
+    "pct=55.505505505505504/1.0510510510510511/54.454454454454456/0/0\n"
+    "lat=0.79166505605605497/0.75911118027396884/2.02848615705734 "
+    "tput=95/44.450000000000003\n";
+
+// Same config with the paper's Fig. 16 chaos: 100 ± 10 ms injected on
+// org 1, recorded through the legacy delayed_org knob pre-PR. Both the
+// legacy knob and the DelayWindow rewiring must reproduce it exactly.
+constexpr char kGoldenDelayedOrg[] =
+    "ledger=1998 valid=793 endorse=135 mvcc_intra=547 mvcc_inter=523 "
+    "phantom=0 submitted=1998 app=0\n"
+    "pct=60.310310310310314/6.756756756756757/53.553553553553556/0/0\n"
+    "lat=0.98503054254254241/0.95315469855846913/2.2162776351292623 "
+    "tput=95/39.649999999999999\n";
+
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 20 * kSecond;
+  config.arrival_rate_tps = 100;
+  return config;
+}
+
+TEST(FaultGoldenTest, EmptyPlanReproducesPrePrFingerprint) {
+  Result<FailureReport> r = RunOnce(GoldenConfig(), 42);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Fingerprint(r.value()), kGoldenDefault);
+}
+
+TEST(FaultGoldenTest, LegacyDelayedOrgKnobStillReproducesFingerprint) {
+  ExperimentConfig config = GoldenConfig();
+  config.fabric.delayed_org = 1;
+  config.fabric.injected_delay = 100 * kMillisecond;
+  config.fabric.injected_delay_jitter = 10 * kMillisecond;
+  Result<FailureReport> r = RunOnce(config, 42);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Fingerprint(r.value()), kGoldenDelayedOrg);
+}
+
+// The Fig. 16 rewiring: a whole-run DelayWindow over org 1 must be
+// draw-for-draw identical to the legacy delayed_org construction path.
+TEST(FaultGoldenTest, DelayWindowMatchesLegacyDelayedOrg) {
+  ExperimentConfig config = GoldenConfig();
+  DelayWindow window;
+  window.org = 1;
+  window.extra = 100 * kMillisecond;
+  window.jitter = 10 * kMillisecond;
+  config.fabric.faults.Delay(window);
+  Result<FailureReport> r = RunOnce(config, 42);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Fingerprint(r.value()), kGoldenDelayedOrg);
+}
+
+// A chaos mix exercising every fault type plus client retries and
+// MVCC resubmission. Used for the jobs-determinism check.
+ExperimentConfig ChaosConfig() {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 8 * kSecond;
+  config.arrival_rate_tps = 60;
+  config.repetitions = 3;
+  config.fabric.retry.endorse_timeout = 400 * kMillisecond;
+  config.fabric.retry.max_endorse_retries = 2;
+  config.fabric.retry.resubmit_on_mvcc = true;
+  DelayWindow window;
+  window.org = 1;
+  window.extra = 50 * kMillisecond;
+  window.jitter = 5 * kMillisecond;
+  window.from = 2 * kSecond;
+  window.to = 5 * kSecond;
+  LinkFaultRule lossy;  // orderer <-> first client, 5% loss mid-run
+  lossy.a = 0;
+  lossy.b = 5;
+  lossy.drop_prob = 0.05;
+  lossy.from = 2 * kSecond;
+  lossy.to = 6 * kSecond;
+  config.fabric.faults.Delay(window)
+      .Crash(/*peer=*/1, 3 * kSecond, /*restart_at=*/5 * kSecond)
+      .PauseOrderer(4 * kSecond, 4500 * kMillisecond)
+      .DropLink(lossy);
+  return config;
+}
+
+TEST(FaultDeterminismTest, IdenticalAcrossJobCountsUnderActiveFaults) {
+  ExperimentConfig config = ChaosConfig();
+  SetParallelJobs(1);
+  Result<ExperimentResult> serial = RunExperiment(config);
+  SetParallelJobs(4);
+  Result<ExperimentResult> parallel = RunExperiment(config);
+  ParallelJobsFromEnv();  // restore the ambient setting for later tests
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial.value().repetitions.size(),
+            parallel.value().repetitions.size());
+  for (size_t i = 0; i < serial.value().repetitions.size(); ++i) {
+    EXPECT_EQ(Fingerprint(serial.value().repetitions[i]),
+              Fingerprint(parallel.value().repetitions[i]))
+        << "repetition " << i;
+  }
+  EXPECT_EQ(Fingerprint(serial.value().mean),
+            Fingerprint(parallel.value().mean));
+}
+
+// Builds a live network so actor state (peers, orderer, injector) can
+// be inspected after the run.
+struct LiveRun {
+  std::unique_ptr<Environment> env;
+  std::unique_ptr<FabricNetwork> network;
+};
+
+LiveRun RunLive(const ExperimentConfig& config, uint64_t seed) {
+  LiveRun run;
+  auto chaincode = MakeChaincodeFor(config.workload).value();
+  auto workload = std::shared_ptr<WorkloadGenerator>(
+      std::move(MakeWorkload(config.workload, /*rich=*/true).value()));
+  run.env = std::make_unique<Environment>(seed);
+  run.network = std::make_unique<FabricNetwork>(config.fabric, run.env.get(),
+                                                chaincode, workload);
+  EXPECT_TRUE(run.network->Init().ok());
+  run.network->StartLoad(config.arrival_rate_tps, config.duration);
+  run.env->RunAll();
+  return run;
+}
+
+std::vector<StateEntry> SortedState(const StateDatabase& db) {
+  std::vector<StateEntry> entries = db.Scan();
+  std::sort(entries.begin(), entries.end(),
+            [](const StateEntry& a, const StateEntry& b) {
+              return a.key < b.key;
+            });
+  return entries;
+}
+
+TEST(FaultCrashTest, RestartedPeerCatchesUpToHealthyReplicas) {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 10 * kSecond;
+  config.arrival_rate_tps = 50;
+  // Retries let transactions routed to the dead peer complete via the
+  // org's next round-robin peer instead of hanging forever.
+  config.fabric.retry.endorse_timeout = 500 * kMillisecond;
+  config.fabric.faults.Crash(/*peer=*/1, 3 * kSecond,
+                             /*restart_at=*/6 * kSecond);
+  LiveRun run = RunLive(config, 23);
+  FabricNetwork& net = *run.network;
+
+  ASSERT_NE(net.fault_injector(), nullptr);
+  const std::vector<FaultEventRecord>& events = net.fault_injector()->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FaultEventRecord::Kind::kPeerCrash);
+  EXPECT_EQ(events[0].at, 3 * kSecond);
+  EXPECT_EQ(events[1].kind, FaultEventRecord::Kind::kPeerRestart);
+  EXPECT_EQ(events[1].at, 6 * kSecond);
+
+  const Peer& crashed = *net.peers()[1];
+  EXPECT_TRUE(crashed.alive());
+  EXPECT_GT(crashed.blocks_replayed(), 0u);
+  EXPECT_GT(crashed.proposals_dropped() + crashed.blocks_dropped(), 0u);
+  EXPECT_GT(net.stats().endorse_retries, 0u);
+
+  // Every replica — including the crashed-then-restarted one — ends at
+  // the canonical height with an identical world state.
+  ASSERT_GT(net.ledger().height(), 0u);
+  std::vector<StateEntry> reference = SortedState(net.peers()[0]->state());
+  for (const auto& peer : net.peers()) {
+    EXPECT_EQ(peer->committed_height(), net.ledger().height())
+        << "peer " << peer->id();
+    std::vector<StateEntry> state = SortedState(peer->state());
+    ASSERT_EQ(state.size(), reference.size()) << "peer " << peer->id();
+    for (size_t i = 0; i < state.size(); ++i) {
+      EXPECT_EQ(state[i].key, reference[i].key);
+      EXPECT_EQ(state[i].vv.value, reference[i].vv.value);
+      EXPECT_EQ(state[i].vv.version, reference[i].vv.version);
+    }
+  }
+}
+
+TEST(FaultCrashTest, PeerDeadForRestOfRunStaysBehind) {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 6 * kSecond;
+  config.arrival_rate_tps = 50;
+  config.fabric.retry.endorse_timeout = 500 * kMillisecond;
+  config.fabric.faults.Crash(/*peer=*/3, 2 * kSecond);  // never restarts
+  LiveRun run = RunLive(config, 29);
+  const Peer& dead = *run.network->peers()[3];
+  EXPECT_FALSE(dead.alive());
+  EXPECT_GT(dead.blocks_dropped(), 0u);
+  EXPECT_LT(dead.committed_height(), run.network->ledger().height());
+}
+
+TEST(FaultOrdererTest, PauseBuffersAndResumeDrainsInOrder) {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 8 * kSecond;
+  config.arrival_rate_tps = 50;
+  config.fabric.faults.PauseOrderer(2 * kSecond, 4 * kSecond);
+  LiveRun run = RunLive(config, 31);
+  FabricNetwork& net = *run.network;
+
+  EXPECT_FALSE(net.orderer().paused());
+  EXPECT_GT(net.orderer().txs_deferred_while_paused(), 0u);
+  ASSERT_EQ(net.fault_injector()->events().size(), 2u);
+  EXPECT_EQ(net.fault_injector()->events()[0].kind,
+            FaultEventRecord::Kind::kOrdererPause);
+  EXPECT_EQ(net.fault_injector()->events()[1].kind,
+            FaultEventRecord::Kind::kOrdererResume);
+
+  // Nothing is lost: the buffered envelopes are ordered after resume
+  // and the chain stays dense.
+  uint64_t expected = 1;
+  for (const Block& block : net.ledger().blocks()) {
+    EXPECT_EQ(block.number, expected++);
+  }
+  for (const auto& peer : net.peers()) {
+    EXPECT_EQ(peer->committed_height(), net.ledger().height());
+  }
+}
+
+TEST(FaultPartitionTest, HardPartitionDropsMessagesDeterministically) {
+  // Partition the orderer from org 1's peers mid-run: block deliveries
+  // into that org are dropped during the window. There is no
+  // retransmit in the model, so org 1's delivery pipeline stalls at
+  // the first lost block — its peers keep endorsing on stale state,
+  // which is exactly the silent-degradation mode the paper describes.
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 6 * kSecond;
+  config.arrival_rate_tps = 100;
+  config.fabric.faults.Partition(/*side_a=*/{0}, /*side_b=*/{3, 4},
+                                 2 * kSecond, 3 * kSecond);
+  LiveRun a = RunLive(config, 37);
+  LiveRun b = RunLive(config, 37);
+  EXPECT_GT(a.network->net().messages_dropped(), 0u);
+  EXPECT_EQ(a.network->net().messages_dropped(),
+            b.network->net().messages_dropped());
+  EXPECT_EQ(Fingerprint(BuildFailureReport(a.network->ledger(),
+                                           a.network->stats(),
+                                           config.duration)),
+            Fingerprint(BuildFailureReport(b.network->ledger(),
+                                           b.network->stats(),
+                                           config.duration)));
+}
+
+TEST(FaultPlanTest, InstallRejectsInvalidPlans) {
+  ExperimentConfig base = ExperimentConfig::Defaults();
+  base.duration = 1 * kSecond;
+  auto expect_init = [&](const FaultPlan& plan, bool ok) {
+    ExperimentConfig config = base;
+    config.fabric.faults = plan;
+    auto chaincode = MakeChaincodeFor(config.workload).value();
+    auto workload = std::shared_ptr<WorkloadGenerator>(
+        std::move(MakeWorkload(config.workload, true).value()));
+    Environment env(1);
+    FabricNetwork network(config.fabric, &env, chaincode, workload);
+    EXPECT_EQ(network.Init().ok(), ok);
+  };
+
+  expect_init(FaultPlan{}.Crash(/*peer=*/99, 1 * kSecond), false);
+  expect_init(FaultPlan{}.Crash(/*peer=*/1, 2 * kSecond, 1 * kSecond), false);
+  expect_init(FaultPlan{}.PauseOrderer(2 * kSecond, 1 * kSecond), false);
+
+  DelayWindow both;  // org and node are mutually exclusive
+  both.org = 0;
+  both.node = 1;
+  both.extra = kMillisecond;
+  expect_init(FaultPlan{}.Delay(both), false);
+
+  DelayWindow inverted;
+  inverted.org = 0;
+  inverted.extra = kMillisecond;
+  inverted.from = 2 * kSecond;
+  inverted.to = 1 * kSecond;
+  expect_init(FaultPlan{}.Delay(inverted), false);
+
+  LinkFaultRule bad_prob;
+  bad_prob.a = 0;
+  bad_prob.b = 1;
+  bad_prob.drop_prob = 1.5;
+  expect_init(FaultPlan{}.DropLink(bad_prob), false);
+
+  DelayWindow good;
+  good.org = 1;
+  good.extra = kMillisecond;
+  expect_init(FaultPlan{}.Delay(good), true);
+}
+
+TEST(FaultPlanTest, NeedsFaultRngOnlyForProbabilisticRules) {
+  EXPECT_FALSE(FaultPlan{}.NeedsFaultRng());
+  FaultPlan hard;
+  hard.Partition({0}, {1}, 0, kSecond);  // p = 1: no randomness
+  EXPECT_FALSE(hard.NeedsFaultRng());
+  LinkFaultRule lossy;
+  lossy.a = 0;
+  lossy.b = 1;
+  lossy.drop_prob = 0.5;
+  FaultPlan soft;
+  soft.DropLink(lossy);
+  EXPECT_TRUE(soft.NeedsFaultRng());
+}
+
+// The paper-motivated loop: resubmitting MVCC-failed transactions
+// feeds contended writes back into the pipeline, raising the MVCC
+// conflict share instead of masking it.
+TEST(RetryAmplificationTest, ResubmissionRaisesMvccConflictShare) {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 10 * kSecond;
+  config.arrival_rate_tps = 100;
+  Result<FailureReport> baseline = RunOnce(config, 42);
+  ASSERT_TRUE(baseline.ok());
+
+  config.fabric.retry.resubmit_on_mvcc = true;
+  config.fabric.retry.max_resubmits = 2;
+  Result<FailureReport> amplified = RunOnce(config, 42);
+  ASSERT_TRUE(amplified.ok());
+
+  EXPECT_EQ(baseline.value().resubmissions, 0u);
+  EXPECT_GT(amplified.value().resubmissions, 0u);
+  // Resubmissions add load: more transactions reach the ledger, and
+  // the extra attempts hit the same hot keys.
+  EXPECT_GT(amplified.value().ledger_txs, baseline.value().ledger_txs);
+  EXPECT_GT(amplified.value().mvcc_intra + amplified.value().mvcc_inter,
+            baseline.value().mvcc_intra + baseline.value().mvcc_inter);
+}
+
+}  // namespace
+}  // namespace fabricsim

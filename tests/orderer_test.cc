@@ -157,10 +157,11 @@ TEST_F(OrdererTest, FullyAbortedBlockIsNotDelivered) {
   Orderer orderer(std::move(params));
   orderer.SubmitTransaction(SimpleTx(1));
   orderer.SubmitTransaction(SimpleTx(2));
-  // Next batch delivers normally and must reuse the freed block number.
+  // An undelivered cut must not consume a block number.
   env_->RunAll();
   EXPECT_TRUE(delivered_.empty());
   EXPECT_EQ(orderer.txs_early_aborted(), 2u);
+  EXPECT_EQ(orderer.blocks_cut(), 0u);
 
   Orderer::Params params2 = BaseParams(2);
   params2.processor = nullptr;
@@ -170,6 +171,52 @@ TEST_F(OrdererTest, FullyAbortedBlockIsNotDelivered) {
   env_->RunAll();
   ASSERT_EQ(delivered_.size(), 1u);
   EXPECT_EQ(delivered_[0]->number, 1u);
+}
+
+// Processor that drops the whole content of its Nth cut (0-based) and
+// passes every other block through — the all-aborted-in-the-middle
+// shape a reordering/early-abort variant can produce under contention.
+class DropNthCutProcessor : public BlockProcessor {
+ public:
+  explicit DropNthCutProcessor(int drop_index) : drop_index_(drop_index) {}
+
+  SimTime OnBlockCut(Block* block,
+                     std::vector<EarlyAbort>* early_aborted) override {
+    if (cut_index_++ != drop_index_) return 0;
+    for (Transaction& tx : block->txs) {
+      early_aborted->emplace_back(std::move(tx),
+                                  TxValidationCode::kAbortedNotSerializable);
+    }
+    block->txs.clear();
+    block->results.clear();
+    return 0;
+  }
+
+ private:
+  int drop_index_;
+  int cut_index_ = 0;
+};
+
+// Regression for the block-number-reuse bug: the orderer used to stamp
+// the number before the all-aborted check and roll the counter back
+// afterwards, so an aborted cut in mid-stream left a stamped-but-free
+// number behind. Delivered numbers must stay dense and monotone with
+// an all-aborted cut between two delivered ones.
+TEST_F(OrdererTest, AllAbortedCutKeepsBlockNumbersDenseAndMonotone) {
+  Orderer::Params params = BaseParams(2);
+  DropNthCutProcessor processor(/*drop_index=*/1);
+  params.processor = &processor;
+  Orderer orderer(std::move(params));
+  for (TxId id = 1; id <= 6; ++id) orderer.SubmitTransaction(SimpleTx(id));
+  env_->RunAll();
+  EXPECT_EQ(orderer.txs_early_aborted(), 2u);
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[0]->number, 1u);
+  EXPECT_EQ(delivered_[1]->number, 2u);
+  EXPECT_EQ(orderer.blocks_cut(), 2u);
+  // The surviving cuts carry the txs around the aborted batch.
+  EXPECT_EQ(delivered_[0]->txs[0].id, 1u);
+  EXPECT_EQ(delivered_[1]->txs[0].id, 5u);
 }
 
 TEST_F(OrdererTest, IngressCountsTransactions) {

@@ -160,7 +160,7 @@ TEST(NetworkTest, DelayWithinConfiguredBounds) {
   config.bandwidth_bytes_per_us = 0;  // disable payload term
   Network net(config, Rng(5));
   for (int i = 0; i < 1000; ++i) {
-    SimTime d = net.SampleDelay(0, 1, 0);
+    SimTime d = net.SampleDelay(0, 1, 0, 0);
     EXPECT_GE(d, 800);
     EXPECT_LE(d, 1200);
   }
@@ -168,7 +168,7 @@ TEST(NetworkTest, DelayWithinConfiguredBounds) {
 
 TEST(NetworkTest, SelfMessagesAreFree) {
   Network net(NetworkConfig{}, Rng(5));
-  EXPECT_EQ(net.SampleDelay(3, 3, 1000), 0);
+  EXPECT_EQ(net.SampleDelay(3, 3, 1000, 0), 0);
 }
 
 TEST(NetworkTest, PayloadAddsTransferTime) {
@@ -177,7 +177,7 @@ TEST(NetworkTest, PayloadAddsTransferTime) {
   config.jitter = 0;
   config.bandwidth_bytes_per_us = 10.0;
   Network net(config, Rng(5));
-  EXPECT_EQ(net.SampleDelay(0, 1, 1000), 100 + 100);
+  EXPECT_EQ(net.SampleDelay(0, 1, 1000, 0), 100 + 100);
 }
 
 TEST(NetworkTest, InjectedDelayAppliesToNode) {
@@ -187,9 +187,64 @@ TEST(NetworkTest, InjectedDelayAppliesToNode) {
   config.bandwidth_bytes_per_us = 0;
   Network net(config, Rng(5));
   net.InjectDelay(7, InjectedDelay{100000, 0});
-  EXPECT_EQ(net.SampleDelay(0, 7, 0), 100100);
-  EXPECT_EQ(net.SampleDelay(7, 0, 0), 100100);
-  EXPECT_EQ(net.SampleDelay(0, 1, 0), 100);
+  EXPECT_EQ(net.SampleDelay(0, 7, 0, 0), 100100);
+  EXPECT_EQ(net.SampleDelay(7, 0, 0, 0), 100100);
+  EXPECT_EQ(net.SampleDelay(0, 1, 0, 0), 100);
+}
+
+TEST(NetworkTest, InjectedDelayWindowOnlyAppliesInsideWindow) {
+  NetworkConfig config;
+  config.base_latency = 100;
+  config.jitter = 0;
+  config.bandwidth_bytes_per_us = 0;
+  Network net(config, Rng(5));
+  net.InjectDelay(7, InjectedDelay{100000, 0, /*from=*/kSecond,
+                                   /*to=*/2 * kSecond});
+  EXPECT_EQ(net.SampleDelay(0, 7, 0, 0), 100);
+  EXPECT_EQ(net.SampleDelay(0, 7, 0, kSecond), 100100);
+  EXPECT_EQ(net.SampleDelay(0, 7, 0, 2 * kSecond - 1), 100100);
+  EXPECT_EQ(net.SampleDelay(0, 7, 0, 2 * kSecond), 100);
+}
+
+TEST(NetworkTest, LinkFaultDropsMessagesInsideWindow) {
+  Environment env(1);
+  Network net(NetworkConfig{}, Rng(5));
+  net.AddLinkFault(LinkFaultRule{/*a=*/1, /*b=*/2, /*bidirectional=*/true,
+                                 /*drop_prob=*/1.0, /*from=*/0,
+                                 /*to=*/kSecond});
+  int delivered = 0;
+  net.Send(env, 1, 2, 0, [&]() { ++delivered; });   // dropped
+  net.Send(env, 2, 1, 0, [&]() { ++delivered; });   // dropped (bidirectional)
+  net.Send(env, 1, 3, 0, [&]() { ++delivered; });   // unaffected link
+  env.RunAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  // Past the window the link heals.
+  env.Schedule(2 * kSecond, [] {});
+  env.RunAll();
+  net.Send(env, 1, 2, 0, [&]() { ++delivered; });
+  env.RunAll();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(NetworkTest, ProbabilisticDropUsesDedicatedFaultStream) {
+  Environment env(1);
+  NetworkConfig config;
+  config.jitter = 0;
+  Network net(config, Rng(5));
+  net.set_fault_rng(Rng(99));
+  net.AddLinkFault(LinkFaultRule{-1, -1, true, /*drop_prob=*/0.5, 0,
+                                 kSimTimeNever});
+  int delivered = 0;
+  const int kSends = 2000;
+  for (int i = 0; i < kSends; ++i) {
+    net.Send(env, 1, 2, 0, [&]() { ++delivered; });
+  }
+  env.RunAll();
+  EXPECT_GT(delivered, kSends / 3);
+  EXPECT_LT(delivered, 2 * kSends / 3);
+  EXPECT_EQ(static_cast<uint64_t>(delivered) + net.messages_dropped(),
+            static_cast<uint64_t>(kSends));
 }
 
 TEST(NetworkTest, SendDeliversAfterDelay) {
