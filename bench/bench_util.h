@@ -110,6 +110,21 @@ class JsonWriter {
     writer_.AddRow(buf);
   }
 
+  /// Row whose headline is a named scalar metric instead of a failure
+  /// rate (e.g. the ordering-failover bench reports the unavailability
+  /// gap in seconds).
+  void RowMetric(const std::string& figure, double point, uint64_t seed,
+                 double wall_ms, const char* metric, double value) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"figure\": \"%s\", \"point\": %g, \"seed\": %llu, "
+                  "\"wall_ms\": %.3f, \"%s\": %.6f}",
+                  JsonEscape(figure).c_str(), point,
+                  static_cast<unsigned long long>(seed), wall_ms, metric,
+                  value);
+    writer_.AddRow(buf);
+  }
+
   /// Writes all accumulated rows; safe to call more than once (later
   /// calls rewrite the file with the full row set).
   void Flush() {

@@ -260,12 +260,80 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
       static_cast<SimTime>(pending.responses.size());
   uint64_t bytes = tx.ByteSize();
   auto shared_tx = std::make_shared<Transaction>(std::move(tx));
+  if (!p_.orderer_endpoints.empty()) {
+    // Replicated ordering: keep the envelope around until a replica
+    // acks it, starting at the last known leader.
+    int replica = leader_hint_ % static_cast<int>(p_.orderer_endpoints.size());
+    awaiting_order_ack_[tx_id] = PendingOrder{shared_tx, replica, 0};
+    p_.env->Schedule(collect_cost, [this, tx_id, replica]() {
+      BroadcastToOrderer(tx_id, replica, /*attempt=*/0);
+    });
+    return;
+  }
   p_.env->Schedule(collect_cost, [this, shared_tx, bytes]() {
     p_.net->Send(*p_.env, p_.node, p_.orderer_node, bytes,
                  [this, shared_tx]() {
                    p_.orderer->SubmitTransaction(std::move(*shared_tx));
                  });
   });
+}
+
+void Client::BroadcastToOrderer(TxId tx_id, int replica, int attempt) {
+  auto it = awaiting_order_ack_.find(tx_id);
+  if (it == awaiting_order_ack_.end()) return;
+  const Params::OrdererEndpoint& endpoint =
+      p_.orderer_endpoints[static_cast<size_t>(replica)];
+  std::shared_ptr<Transaction> tx = it->second.tx;
+  NodeId endpoint_node = endpoint.node;
+  // The ack travels back over the network like a Fabric broadcast
+  // response; a crashed or deposed replica simply never sends it.
+  auto ack = [this, endpoint_node, replica](TxId id, bool accepted) {
+    p_.net->Send(*p_.env, endpoint_node, p_.node, 48,
+                 [this, id, accepted, replica]() {
+                   OnOrdererAck(id, accepted, replica);
+                 });
+  };
+  uint64_t bytes = tx->ByteSize();
+  auto submit = endpoint.submit;
+  p_.net->Send(*p_.env, p_.node, endpoint_node, bytes,
+               [tx, ack, submit]() { submit(*tx, ack); });
+  p_.env->Schedule(p_.orderer_ack_timeout, [this, tx_id, attempt]() {
+    OnOrdererAckTimeout(tx_id, attempt);
+  });
+}
+
+void Client::OnOrdererAck(TxId tx_id, bool accepted, int replica) {
+  auto it = awaiting_order_ack_.find(tx_id);
+  if (it == awaiting_order_ack_.end()) return;  // duplicate/stale ack
+  awaiting_order_ack_.erase(it);
+  leader_hint_ = replica;
+  if (accepted && p_.acked_txs != nullptr) {
+    p_.acked_txs->push_back(tx_id);
+  }
+}
+
+void Client::OnOrdererAckTimeout(TxId tx_id, int attempt) {
+  auto it = awaiting_order_ack_.find(tx_id);
+  if (it == awaiting_order_ack_.end()) return;  // acked in the meantime
+  PendingOrder& pending = it->second;
+  if (pending.attempt != attempt) return;  // a newer broadcast is armed
+  if (attempt >= p_.max_orderer_rebroadcasts) {
+    ++p_.stats->orderer_broadcast_drops;
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnClientDrop(tx_id, TraceTerminal::kOrdererUnavailable,
+                           p_.env->now());
+    }
+    awaiting_order_ack_.erase(it);
+    return;
+  }
+  // Silence from the current replica: assume it is down or deposed and
+  // walk to the next one. The walk revisits every replica, so the new
+  // leader is found wherever it landed.
+  pending.attempt = attempt + 1;
+  pending.replica =
+      (pending.replica + 1) % static_cast<int>(p_.orderer_endpoints.size());
+  ++p_.stats->orderer_rebroadcasts;
+  BroadcastToOrderer(tx_id, pending.replica, pending.attempt);
 }
 
 void Client::OnCommittedResult(TxId tx_id, TxValidationCode code) {

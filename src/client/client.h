@@ -41,6 +41,16 @@ struct RunStats {
   uint64_t endorse_timeouts = 0;
   /// MVCC/phantom-failed transactions resubmitted as fresh ones.
   uint64_t resubmissions = 0;
+  /// Envelope re-broadcasts to another orderer replica after an ack
+  /// timeout (replicated ordering mode only).
+  uint64_t orderer_rebroadcasts = 0;
+  /// Envelopes abandoned after exhausting the re-broadcast budget — the
+  /// ordering service was unavailable for the whole window.
+  uint64_t orderer_broadcast_drops = 0;
+  /// Raft elections started / leaderships established (incremented by
+  /// the ordering service through the harness sinks).
+  uint64_t orderer_elections = 0;
+  uint64_t orderer_leader_changes = 0;
 };
 
 /// An open-loop client process (Caliper worker analogue): draws
@@ -66,6 +76,26 @@ class Client {
     std::vector<std::vector<Peer*>> peers_by_org;
     Orderer* orderer = nullptr;
     NodeId orderer_node = 0;
+    /// Replicated ordering: one endpoint per orderer replica. When
+    /// non-empty the client broadcasts envelopes here (with ack-timeout
+    /// failover) instead of through `orderer`; the legacy single-
+    /// orderer path above stays byte-identical when this is empty.
+    struct OrdererEndpoint {
+      NodeId node = 0;
+      /// Hands the envelope to the replica together with the client's
+      /// ack callback (invoked at quorum commit or early abort).
+      std::function<void(Transaction, std::function<void(TxId, bool)>)>
+          submit;
+    };
+    std::vector<OrdererEndpoint> orderer_endpoints;
+    /// How long to wait for the ordering ack before re-broadcasting to
+    /// the next replica (replicated mode only).
+    SimTime orderer_ack_timeout = 0;
+    /// Re-broadcast budget per envelope before giving up.
+    int max_orderer_rebroadcasts = 0;
+    /// Harness sink: ids of transactions whose ordering ack reached
+    /// this client (the invariant checker proves none were lost).
+    std::vector<TxId>* acked_txs = nullptr;
     TimingConfig timing;
     Rng rng{1, 1};
     /// This client's share of the total arrival rate.
@@ -132,9 +162,23 @@ class Client {
   void OnEndorsement(ProposalResponse response);
   void FinalizeTx(TxId tx_id, PendingTx pending);
 
+  /// Replicated-ordering failover: envelope awaiting its ordering ack.
+  struct PendingOrder {
+    std::shared_ptr<Transaction> tx;
+    int replica = 0;  ///< endpoint index of the current attempt
+    int attempt = 0;  ///< broadcast round (staleness guard)
+  };
+  void BroadcastToOrderer(TxId tx_id, int replica, int attempt);
+  void OnOrdererAck(TxId tx_id, bool accepted, int replica);
+  void OnOrdererAckTimeout(TxId tx_id, int attempt);
+
   Params p_;
   std::unordered_map<TxId, PendingTx> in_flight_;
   std::unordered_map<TxId, ResubmitMeta> resubmit_meta_;
+  std::unordered_map<TxId, PendingOrder> awaiting_order_ack_;
+  /// Last endpoint that acked — new envelopes start there instead of
+  /// rediscovering the leader.
+  int leader_hint_ = 0;
   uint64_t round_robin_ = 0;
 };
 

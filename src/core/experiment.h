@@ -141,6 +141,12 @@ class ExperimentConfig::Builder {
     config_.fabric.retry = retry;
     return *this;
   }
+  /// Replicated (Raft) ordering service configuration. Set
+  /// ordering.replicated = true to leave compat mode.
+  Builder& ReplicatedOrdering(OrderingConfig ordering) {
+    config_.fabric.ordering = ordering;
+    return *this;
+  }
 
   ExperimentConfig Build() const {
     ExperimentConfig config = config_;

@@ -32,6 +32,10 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
   report.endorse_retries = stats.endorse_retries;
   report.endorse_timeouts = stats.endorse_timeouts;
   report.resubmissions = stats.resubmissions;
+  report.orderer_rebroadcasts = stats.orderer_rebroadcasts;
+  report.orderer_broadcast_drops = stats.orderer_broadcast_drops;
+  report.orderer_elections = stats.orderer_elections;
+  report.orderer_leader_changes = stats.orderer_leader_changes;
 
   if (summary.total > 0) {
     double n = static_cast<double>(summary.total);
@@ -72,6 +76,18 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
     report.avg_latency_s = latencies.mean() / 1000.0;
     report.p50_latency_s = latencies.Percentile(0.5) / 1000.0;
     report.p99_latency_s = latencies.Percentile(0.99) / 1000.0;
+  }
+
+  // Ordering-availability proxy: the widest silence between consecutive
+  // block cuts. Computed on every run so compat and replicated results
+  // are directly comparable.
+  SimTime prev_cut = kSimTimeNever;
+  for (const auto& block : ledger.blocks()) {
+    if (prev_cut != kSimTimeNever && block.cut_time > prev_cut) {
+      double gap = ToSeconds(block.cut_time - prev_cut);
+      if (gap > report.max_interblock_gap_s) report.max_interblock_gap_s = gap;
+    }
+    prev_cut = block.cut_time;
   }
 
   double seconds = ToSeconds(load_duration);
@@ -129,6 +145,14 @@ FailureReport FailureReport::Average(
   mean.endorse_timeouts =
       avg_u([](const auto& r) { return r.endorse_timeouts; });
   mean.resubmissions = avg_u([](const auto& r) { return r.resubmissions; });
+  mean.orderer_rebroadcasts =
+      avg_u([](const auto& r) { return r.orderer_rebroadcasts; });
+  mean.orderer_broadcast_drops =
+      avg_u([](const auto& r) { return r.orderer_broadcast_drops; });
+  mean.orderer_elections =
+      avg_u([](const auto& r) { return r.orderer_elections; });
+  mean.orderer_leader_changes =
+      avg_u([](const auto& r) { return r.orderer_leader_changes; });
   mean.total_failure_pct =
       avg_d([](const auto& r) { return r.total_failure_pct; });
   mean.endorsement_pct = avg_d([](const auto& r) { return r.endorsement_pct; });
@@ -146,6 +170,8 @@ FailureReport FailureReport::Average(
       avg_d([](const auto& r) { return r.committed_throughput_tps; });
   mean.valid_throughput_tps =
       avg_d([](const auto& r) { return r.valid_throughput_tps; });
+  mean.max_interblock_gap_s =
+      avg_d([](const auto& r) { return r.max_interblock_gap_s; });
   bool all_phases = true;
   for (const FailureReport& r : reports) all_phases &= r.has_phase_breakdown;
   if (all_phases) {
@@ -193,6 +219,17 @@ std::string FailureReport::ToString() const {
         static_cast<unsigned long long>(endorse_timeouts),
         static_cast<unsigned long long>(resubmissions),
         static_cast<unsigned long long>(dropped_no_endorsers));
+  }
+  if (orderer_rebroadcasts > 0 || orderer_broadcast_drops > 0 ||
+      orderer_elections > 0 || orderer_leader_changes > 0) {
+    out += StrFormat(
+        "ordering: elections %llu | leader changes %llu | rebroadcasts %llu "
+        "| drops %llu | max gap %.3fs\n",
+        static_cast<unsigned long long>(orderer_elections),
+        static_cast<unsigned long long>(orderer_leader_changes),
+        static_cast<unsigned long long>(orderer_rebroadcasts),
+        static_cast<unsigned long long>(orderer_broadcast_drops),
+        max_interblock_gap_s);
   }
   if (has_phase_breakdown) {
     out += StrFormat(

@@ -35,6 +35,13 @@ struct FailureReport {
   uint64_t endorse_timeouts = 0;      ///< abandoned after retry budget
   uint64_t resubmissions = 0;         ///< MVCC failures resubmitted
 
+  // Ordering-availability counters (all zero in compat single-leader
+  // mode; zero values are omitted from ToString()).
+  uint64_t orderer_rebroadcasts = 0;    ///< failovers to another replica
+  uint64_t orderer_broadcast_drops = 0; ///< rebroadcast budget exhausted
+  uint64_t orderer_elections = 0;       ///< Raft elections started
+  uint64_t orderer_leader_changes = 0;  ///< distinct leader takeovers
+
   // Percentages of ledger transactions.
   double total_failure_pct = 0;
   double endorsement_pct = 0;
@@ -54,6 +61,12 @@ struct FailureReport {
   // Throughput in tps over the load duration.
   double committed_throughput_tps = 0;  ///< ledger txs / duration
   double valid_throughput_tps = 0;      ///< valid txs / duration
+
+  /// Largest gap between consecutive block cut times on the ledger, in
+  /// seconds. Under a leader crash this is the ordering-unavailability
+  /// window (detection + election + takeover); in healthy runs it
+  /// tracks the batch timeout. Zero when fewer than two blocks.
+  double max_interblock_gap_s = 0;
 
   /// Per-phase latency breakdown (execute / order / validate+commit),
   /// only populated when the run had lifecycle tracing enabled. The

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/parallel.h"
+#include "src/core/invariants.h"
 #include "src/fabric/fabric_network.h"
 #include "src/workload/paper_workloads.h"
 
@@ -41,6 +42,15 @@ Result<RunArtifacts> RunOnceArtifacts(const ExperimentConfig& config,
   FABRICSIM_RETURN_NOT_OK(network.Init());
   network.StartLoad(config.arrival_rate_tps, config.duration);
   env.RunAll();
+  // Chain-integrity audit, unconditional on every run (healthy or
+  // chaotic): byte-identical dense hash chains on all peers, no acked
+  // transaction lost or committed twice. A violation is a simulator
+  // bug, never a legitimate result — fail the run loudly.
+  ChainIntegrityReport integrity = CheckChainIntegrity(network);
+  if (!integrity.ok()) {
+    return Status::Internal("chain integrity violated: " +
+                            integrity.Summary());
+  }
   RunArtifacts artifacts;
   artifacts.report = BuildFailureReport(network.ledger(), network.stats(),
                                         config.duration, network.tracer());

@@ -56,9 +56,16 @@ Status FabricNetwork::Init() {
   // --- Network + chaos injection -------------------------------------
   net_ = std::make_unique<Network>(config_.net, env_->rng().Fork(1000));
 
-  // Node ids: orderer 0, peers 1..P, clients P+1.. .
-  NodeId next_node = 0;
-  NodeId orderer_node = next_node++;
+  // Node ids: orderer(s) first, then peers, then clients. Compat mode
+  // has exactly one orderer node (id 0), keeping the legacy layout —
+  // and the legacy byte-identical traffic — untouched; replicated mode
+  // gives each of the N replicas its own node id 0..N-1.
+  int num_orderer_nodes =
+      config_.ordering.replicated
+          ? (cluster.num_orderers < 1 ? 1 : cluster.num_orderers)
+          : 1;
+  NodeId next_node = static_cast<NodeId>(num_orderer_nodes);
+  NodeId orderer_node = 0;
 
   // --- Variant processor ---------------------------------------------
   BlockProcessor* processor = nullptr;
@@ -130,32 +137,20 @@ Status FabricNetwork::Init() {
   }
 
   // --- Ordering service -----------------------------------------------
-  Orderer::Params oparams;
-  oparams.node = orderer_node;
-  oparams.env = env_;
-  oparams.net = net_.get();
-  oparams.cutter =
-      BlockCutter::Config{config_.block_size, config_.block_max_bytes};
-  oparams.block_timeout = config_.block_timeout;
-  oparams.timing = config_.timing;
-  oparams.consensus = ConsensusModel(config_.cluster.num_orderers,
-                                     config_.timing.consensus_latency);
-  oparams.rng = env_->rng().Fork(3000);
-  oparams.streaming = config_.variant == FabricVariant::kStreamchain;
-  oparams.processor = processor;
   // Block dissemination follows Fabric's gossip layout: the ordering
   // service delivers to one leader peer per organization; the leader
   // forwards to its org members. A chaos-delayed org therefore pays
   // the injected delay twice on state dissemination (orderer->leader,
   // leader->member) but only once on the proposal path — its members
   // endorse on state that lags the healthy orgs.
+  std::vector<Orderer::Params::PeerEndpoint> delivery_endpoints;
   for (const std::vector<Peer*>& org_peers : peers_by_org_) {
     if (org_peers.empty()) continue;
     Peer* leader = org_peers.front();
     std::vector<Peer*> members(org_peers.begin() + 1, org_peers.end());
     Network* net = net_.get();
     Environment* env = env_;
-    oparams.peers.push_back(Orderer::Params::PeerEndpoint{
+    delivery_endpoints.push_back(Orderer::Params::PeerEndpoint{
         leader->node(),
         [leader, members, net, env](std::shared_ptr<const Block> block) {
           leader->HandleBlock(block);
@@ -166,17 +161,60 @@ Status FabricNetwork::Init() {
           }
         }});
   }
-  oparams.on_block_cut = [this](std::shared_ptr<Block> block) {
+  auto on_block_cut = [this](std::shared_ptr<Block> block) {
     canonical_blocks_[block->number] = std::move(block);
   };
-  oparams.on_early_abort = [this](const Transaction&, TxValidationCode code) {
+  auto on_early_abort = [this](const Transaction&, TxValidationCode code) {
     if (code == TxValidationCode::kAbortedNotSerializable) {
       ++stats_.early_aborts_not_serializable;
     } else if (code == TxValidationCode::kAbortedByReordering) {
       ++stats_.early_aborts_by_reordering;
     }
   };
-  orderer_ = std::make_unique<Orderer>(std::move(oparams));
+  if (config_.ordering.replicated) {
+    RaftGroup::Params gparams;
+    gparams.env = env_;
+    gparams.net = net_.get();
+    gparams.num_replicas = num_orderer_nodes;
+    gparams.node_base = 0;
+    gparams.cutter =
+        BlockCutter::Config{config_.block_size, config_.block_max_bytes};
+    gparams.block_timeout = config_.block_timeout;
+    gparams.timing = config_.timing;
+    gparams.ordering = config_.ordering;
+    gparams.streaming = config_.variant == FabricVariant::kStreamchain;
+    gparams.processor = processor;
+    for (int i = 0; i < num_orderer_nodes; ++i) {
+      // Per-replica RNG streams; replica 0 reuses the compat orderer
+      // stream id.
+      gparams.replica_rngs.push_back(
+          env_->rng().Fork(3000 + static_cast<uint64_t>(i)));
+    }
+    gparams.peers = delivery_endpoints;
+    gparams.on_block_cut = on_block_cut;
+    gparams.on_early_abort = on_early_abort;
+    gparams.elections_sink = &stats_.orderer_elections;
+    gparams.leader_changes_sink = &stats_.orderer_leader_changes;
+    raft_ = std::make_unique<RaftGroup>(std::move(gparams));
+  } else {
+    Orderer::Params oparams;
+    oparams.node = orderer_node;
+    oparams.env = env_;
+    oparams.net = net_.get();
+    oparams.cutter =
+        BlockCutter::Config{config_.block_size, config_.block_max_bytes};
+    oparams.block_timeout = config_.block_timeout;
+    oparams.timing = config_.timing;
+    oparams.consensus = ConsensusModel(config_.cluster.num_orderers,
+                                       config_.timing.consensus_latency);
+    oparams.rng = env_->rng().Fork(3000);
+    oparams.streaming = config_.variant == FabricVariant::kStreamchain;
+    oparams.processor = processor;
+    oparams.peers = std::move(delivery_endpoints);
+    oparams.on_block_cut = on_block_cut;
+    oparams.on_early_abort = on_early_abort;
+    orderer_ = std::make_unique<Orderer>(std::move(oparams));
+  }
 
   // --- Fault plan ------------------------------------------------------
   // Catch-up source for crash recovery: every peer can replay canonical
@@ -197,6 +235,7 @@ Status FabricNetwork::Init() {
     actors.env = env_;
     actors.net = net_.get();
     actors.orderer = orderer_.get();
+    actors.raft = raft_.get();
     for (auto& peer : peers_) actors.peers.push_back(peer.get());
     actors.peers_by_org = peers_by_org_;
     fault_injector_ =
@@ -221,8 +260,9 @@ std::shared_ptr<const Block> FabricNetwork::FetchCanonicalBlock(
 void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
   const ClusterConfig& cluster = config_.cluster;
   double per_client = total_rate_tps / cluster.num_clients;
+  int num_orderer_nodes = raft_ != nullptr ? raft_->size() : 1;
   NodeId client_node_base =
-      static_cast<NodeId>(1 + peers_.size());
+      static_cast<NodeId>(num_orderer_nodes + static_cast<int>(peers_.size()));
   for (int i = 0; i < cluster.num_clients; ++i) {
     Client::Params params;
     params.id = i;
@@ -244,6 +284,23 @@ void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
     params.retry = config_.retry;
     if (config_.retry.resubmit_on_mvcc) {
       params.resubmit_registry = &resubmit_registry_;
+    }
+    if (raft_ != nullptr) {
+      // Replicated ordering: the client broadcasts to replicas with
+      // ack-timeout failover instead of the fire-and-forget submit.
+      for (int r = 0; r < raft_->size(); ++r) {
+        OrdererReplica* replica = raft_->replica(r);
+        Client::Params::OrdererEndpoint endpoint;
+        endpoint.node = replica->node();
+        endpoint.submit = [replica](Transaction tx,
+                                    std::function<void(TxId, bool)> ack) {
+          replica->SubmitTransaction(std::move(tx), std::move(ack));
+        };
+        params.orderer_endpoints.push_back(std::move(endpoint));
+      }
+      params.orderer_ack_timeout = config_.ordering.client_ack_timeout;
+      params.max_orderer_rebroadcasts = config_.ordering.max_client_rebroadcasts;
+      params.acked_txs = &acked_txs_;
     }
     clients_.push_back(std::make_unique<Client>(std::move(params)));
     clients_.back()->Start();

@@ -16,6 +16,7 @@
 #include "src/ledger/block_store.h"
 #include "src/obs/tracer.h"
 #include "src/ordering/orderer.h"
+#include "src/ordering/raft_group.h"
 #include "src/peer/peer.h"
 #include "src/policy/endorsement_policy.h"
 #include "src/sim/environment.h"
@@ -70,7 +71,16 @@ class FabricNetwork {
 
   const EndorsementPolicy& policy() const { return *policy_; }
   const Network& net() const { return *net_; }
+  /// Legacy single-leader orderer. Only valid in compat mode
+  /// (config.ordering.replicated == false).
   Orderer& orderer() { return *orderer_; }
+  /// Replicated ordering service; nullptr in compat mode.
+  const RaftGroup* raft() const { return raft_.get(); }
+  RaftGroup* raft() { return raft_.get(); }
+  /// Transaction ids whose ordering ack reached a client (replicated
+  /// mode; empty in compat mode). Input to the invariant checker's
+  /// no-acked-tx-lost audit.
+  const std::vector<TxId>& acked_txs() const { return acked_txs_; }
   const std::vector<std::unique_ptr<Peer>>& peers() const { return peers_; }
 
   /// Variant processor stats (null when the variant is not active).
@@ -102,6 +112,7 @@ class FabricNetwork {
   std::unique_ptr<FabricPlusPlusProcessor> fabricpp_;
   std::unique_ptr<FabricSharpProcessor> fabricsharp_;
   std::unique_ptr<Orderer> orderer_;
+  std::unique_ptr<RaftGroup> raft_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::vector<Peer*>> peers_by_org_;
   std::unique_ptr<FaultInjector> fault_injector_;
@@ -113,6 +124,7 @@ class FabricNetwork {
 
   std::map<uint64_t, std::shared_ptr<Block>> canonical_blocks_;
   BlockStore ledger_;
+  std::vector<TxId> acked_txs_;
   RunStats stats_;
   TxId tx_id_counter_ = 0;
   bool initialized_ = false;

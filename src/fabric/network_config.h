@@ -64,6 +64,34 @@ struct ClusterConfig {
   static ClusterConfig C2() { return ClusterConfig{8, 4, 3, 25}; }
 };
 
+/// Replicated-ordering knobs. `replicated == false` (the default)
+/// keeps the legacy single-leader latency model (`ConsensusModel`
+/// sampled per block), which is byte-identical to the pre-replication
+/// tree — all paper figures run in that compat mode. `replicated ==
+/// true` instantiates `cluster.num_orderers` Raft-style orderer
+/// replicas as real DES actors: leader-based block-log replication, a
+/// block delivers to peers only after a quorum of replicas acked it,
+/// and a crashed leader is replaced through a randomized-timeout
+/// election.
+struct OrderingConfig {
+  bool replicated = false;
+  /// Election timeout drawn uniformly from [min, max) per arming, from
+  /// each replica's own seeded RNG stream — deterministic for a given
+  /// run seed, yet staggered across replicas like real Raft.
+  SimTime election_timeout_min = 500 * kMillisecond;
+  SimTime election_timeout_max = 1 * kSecond;
+  /// Leader heartbeat (empty AppendEntries) period. Must be well below
+  /// election_timeout_min or healthy followers keep starting elections.
+  SimTime heartbeat_interval = 100 * kMillisecond;
+  /// Client-side failover: how long a client waits for the ordering
+  /// ack (sent at quorum commit) before re-broadcasting the envelope
+  /// to the next replica. Must exceed the block timeout plus
+  /// replication latency, or healthy txs get re-broadcast.
+  SimTime client_ack_timeout = 4 * kSecond;
+  /// Re-broadcast budget per envelope before the client gives up.
+  int max_client_rebroadcasts = 10;
+};
+
 /// Service-time calibration for the non-database parts of the
 /// pipeline. Values are chosen so that the simulated testbed saturates
 /// around 200 tps, like the paper's clusters.
@@ -113,6 +141,9 @@ struct FabricConfig {
 
   TimingConfig timing;
   NetworkConfig net;
+
+  /// Replicated-ordering mode (off = legacy single-leader compat path).
+  OrderingConfig ordering;
 
   /// Pumba-style chaos injection: extra one-way delay applied to every
   /// peer of `delayed_org` (< 0 disables). Paper Fig. 16 uses

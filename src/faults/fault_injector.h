@@ -6,6 +6,7 @@
 #include "src/common/status.h"
 #include "src/faults/fault_plan.h"
 #include "src/ordering/orderer.h"
+#include "src/ordering/raft_group.h"
 #include "src/peer/peer.h"
 #include "src/sim/environment.h"
 #include "src/sim/network.h"
@@ -21,6 +22,8 @@ struct FaultEventRecord {
     kPeerRestart,
     kOrdererPause,
     kOrdererResume,
+    kOrdererCrash,
+    kOrdererRestart,
   };
   Kind kind;
   int32_t subject = -1;
@@ -45,6 +48,9 @@ class FaultInjector {
     /// Peers grouped by organization (for org-targeted delay windows).
     std::vector<std::vector<Peer*>> peers_by_org;
     Orderer* orderer = nullptr;
+    /// Replicated ordering service; nullptr in compat mode. Orderer
+    /// crash faults and replica-targeted pauses require it.
+    RaftGroup* raft = nullptr;
   };
 
   FaultInjector(FaultPlan plan, Actors actors);
@@ -62,6 +68,10 @@ class FaultInjector {
 
  private:
   void Fire(FaultEventRecord::Kind kind, int32_t subject);
+  /// Resolves a plan rule's replica target at fire time: >= 0 is taken
+  /// literally, -1 means the current leader (falling back to the last
+  /// known leader during an election).
+  int ResolveOrdererReplica(int requested) const;
 
   FaultPlan plan_;
   Actors actors_;

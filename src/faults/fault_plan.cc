@@ -19,8 +19,21 @@ FaultPlan& FaultPlan::Crash(PeerId peer, SimTime at, SimTime restart_at) {
   return *this;
 }
 
-FaultPlan& FaultPlan::PauseOrderer(SimTime at, SimTime resume_at) {
-  orderer_pauses.push_back(OrdererPauseFault{at, resume_at});
+FaultPlan& FaultPlan::PauseOrderer(SimTime at, SimTime resume_at,
+                                   int replica) {
+  orderer_pauses.push_back(OrdererPauseFault{at, resume_at, replica});
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashOrderer(int replica, SimTime at,
+                                   SimTime restart_at) {
+  orderer_crashes.push_back(OrdererCrashFault{replica, at, restart_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashLeader(SimTime at, SimTime restart_at) {
+  orderer_crashes.push_back(
+      OrdererCrashFault{OrdererCrashFault::kLeader, at, restart_at});
   return *this;
 }
 

@@ -42,6 +42,24 @@ struct PeerCrashFault {
 struct OrdererPauseFault {
   SimTime at = 0;
   SimTime resume_at = kSimTimeNever;
+  /// Replicated ordering: which replica to pause (-1 = the leader at
+  /// fire time). Compat single-orderer mode requires -1.
+  int replica = -1;
+};
+
+/// Crash-stop of one orderer replica (replicated ordering mode only):
+/// at `at` the replica's process dies — volatile state (cutter
+/// contents, pending client acks) is lost, the replicated log / term /
+/// vote survive as Raft stable storage — and at `restart_at` it comes
+/// back as a follower and catches up through the leader's log probing.
+/// Unlike OrdererPauseFault, a crashed leader stops heartbeating, so
+/// the group runs an election. kLeader targets whichever replica leads
+/// at fire time.
+struct OrdererCrashFault {
+  static constexpr int kLeader = -1;
+  int replica = kLeader;
+  SimTime at = 0;
+  SimTime restart_at = kSimTimeNever;
 };
 
 /// A deterministic, time-windowed fault schedule for one run. All
@@ -53,11 +71,13 @@ struct FaultPlan {
   std::vector<DelayWindow> delay_windows;
   std::vector<PeerCrashFault> peer_crashes;
   std::vector<OrdererPauseFault> orderer_pauses;
+  std::vector<OrdererCrashFault> orderer_crashes;
   std::vector<LinkFaultRule> link_faults;
 
   bool empty() const {
     return delay_windows.empty() && peer_crashes.empty() &&
-           orderer_pauses.empty() && link_faults.empty();
+           orderer_pauses.empty() && orderer_crashes.empty() &&
+           link_faults.empty();
   }
 
   /// True when some link fault needs randomness (drop probability
@@ -68,7 +88,13 @@ struct FaultPlan {
   // Fluent helpers so a chaos scenario reads as one expression.
   FaultPlan& Delay(DelayWindow window);
   FaultPlan& Crash(PeerId peer, SimTime at, SimTime restart_at = kSimTimeNever);
-  FaultPlan& PauseOrderer(SimTime at, SimTime resume_at = kSimTimeNever);
+  FaultPlan& PauseOrderer(SimTime at, SimTime resume_at = kSimTimeNever,
+                          int replica = -1);
+  /// Crash-stop one orderer replica (replicated ordering mode).
+  FaultPlan& CrashOrderer(int replica, SimTime at,
+                          SimTime restart_at = kSimTimeNever);
+  /// Crash-stop whichever replica is leading at fire time.
+  FaultPlan& CrashLeader(SimTime at, SimTime restart_at = kSimTimeNever);
   FaultPlan& DropLink(LinkFaultRule rule);
   /// Hard partition: every link between a node of `side_a` and a node
   /// of `side_b` drops all messages during [from, to).

@@ -60,6 +60,32 @@ struct Block {
   }
 };
 
+/// FNV offset basis — the hash of the empty chain (block 0's "previous
+/// hash" in every peer's chain record sequence).
+constexpr uint64_t kChainHashSeed = 14695981039346656037ull;
+
+/// Content digest of a committed block: number, cut reason, each
+/// transaction's identity/read-write set, and each validation verdict.
+/// Deliberately excludes every timestamp (cut/ordered/committed times
+/// differ between the orderer's copy and a peer's committed copy), so
+/// the canonical ledger block and a peer's local commit of the same
+/// block hash identically.
+uint64_t BlockContentHash(const Block& block,
+                          const std::vector<TxValidationResult>& results);
+
+/// Chains a block's content hash onto the running chain hash
+/// (prev == kChainHashSeed for the first block).
+uint64_t MixChainHash(uint64_t prev, uint64_t content);
+
+/// One link of a peer's committed hash chain, recorded at commit time
+/// and audited by the chain-integrity invariant checker
+/// (src/core/invariants.h).
+struct PeerChainRecord {
+  uint64_t number = 0;
+  uint64_t content_hash = 0;
+  uint64_t chain_hash = 0;
+};
+
 }  // namespace fabricsim
 
 #endif  // FABRICSIM_LEDGER_BLOCK_H_

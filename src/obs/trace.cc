@@ -21,6 +21,8 @@ const char* TraceTerminalToString(TraceTerminal terminal) {
       return "no_endorsers";
     case TraceTerminal::kEndorseTimeout:
       return "endorse_timeout";
+    case TraceTerminal::kOrdererUnavailable:
+      return "orderer_unavailable";
   }
   return "unknown";
 }

@@ -42,6 +42,10 @@ enum class TraceTerminal : uint8_t {
   /// Abandoned by the client after exhausting its endorsement retry
   /// budget (only with a ClientRetryPolicy timeout configured).
   kEndorseTimeout,
+  /// Abandoned by the client after exhausting its ordering-broadcast
+  /// budget: no orderer replica acked the envelope (replicated ordering
+  /// mode only).
+  kOrdererUnavailable,
 };
 
 const char* TraceTerminalToString(TraceTerminal terminal);

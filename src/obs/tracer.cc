@@ -120,6 +120,14 @@ std::string Tracer::ExportJsonl(const std::string& config_echo) const {
         "\"at\": %lld}",
         event.kind, event.subject, static_cast<long long>(event.at)));
   }
+  for (const RaftEventRow& event : raft_events_) {
+    writer.AddRow(StrFormat(
+        "{\"type\": \"raft\", \"kind\": \"%s\", \"replica\": %d, "
+        "\"term\": %llu, \"at\": %lld}",
+        event.kind, event.replica,
+        static_cast<unsigned long long>(event.term),
+        static_cast<long long>(event.at)));
+  }
   return writer.Render();
 }
 

@@ -90,6 +90,12 @@ class Tracer {
   void OnFaultEvent(const char* kind, int32_t subject, SimTime now) {
     fault_events_.push_back(FaultEventRow{kind, subject, now});
   }
+  /// A replicated-ordering consensus transition (election started,
+  /// leader elected). `kind` must point at a static string.
+  void OnRaftEvent(const char* kind, int32_t replica, uint64_t term,
+                   SimTime now) {
+    raft_events_.push_back(RaftEventRow{kind, replica, term, now});
+  }
   void OnOrdererEnqueue(TxId id, SimTime now) {
     Touch(id).orderer_enqueue = now;
   }
@@ -141,6 +147,16 @@ class Tracer {
   const std::vector<FaultEventRow>& fault_events() const {
     return fault_events_;
   }
+  /// Consensus transitions observed, in simulated-time order.
+  struct RaftEventRow {
+    const char* kind;
+    int32_t replica;
+    uint64_t term;
+    SimTime at;
+  };
+  const std::vector<RaftEventRow>& raft_events() const {
+    return raft_events_;
+  }
   /// The keys most often named in MVCC/phantom failure attributions,
   /// most-conflicting first (ties broken by key for determinism).
   std::vector<std::pair<std::string, uint64_t>> TopConflictingKeys(
@@ -175,6 +191,7 @@ class Tracer {
   size_t size_ = 0;  ///< number of touched (non-default) slots
   std::map<std::pair<uint64_t, PeerId>, SimTime> peer_commits_;
   std::vector<FaultEventRow> fault_events_;
+  std::vector<RaftEventRow> raft_events_;
   /// Aggregates are caches over traces_, rebuilt on demand — keeping
   /// histogram/map updates off the per-commit hot path.
   mutable bool aggregates_dirty_ = false;

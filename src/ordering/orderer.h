@@ -65,7 +65,12 @@ class Orderer {
     BlockCutter::Config cutter;
     SimTime block_timeout = 2 * kSecond;
     TimingConfig timing;
-    ConsensusModel consensus{3, 4000};
+    /// Defaults derive from the cluster/timing presets (3 orderers,
+    /// 4 ms Kafka round trip) instead of repeating the literals here —
+    /// a changed ClusterConfig default can't silently diverge from the
+    /// consensus layer.
+    ConsensusModel consensus{ClusterConfig().num_orderers,
+                             TimingConfig().consensus_latency};
     Rng rng{1, 1};
     /// When true, every transaction is cut into its own block
     /// immediately (Streamchain).

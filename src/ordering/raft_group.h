@@ -1,0 +1,337 @@
+#ifndef FABRICSIM_ORDERING_RAFT_GROUP_H_
+#define FABRICSIM_ORDERING_RAFT_GROUP_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fabric/network_config.h"
+#include "src/ledger/block.h"
+#include "src/ordering/block_cutter.h"
+#include "src/ordering/orderer.h"
+#include "src/sim/network.h"
+#include "src/sim/work_queue.h"
+
+namespace fabricsim {
+
+class RaftGroup;
+
+/// One slot of the replicated block log. `block == nullptr` marks a
+/// leadership no-op barrier (Raft §5.4.2: a fresh leader commits one
+/// entry of its own term to learn which inherited entries are
+/// committed); block numbers are dense over the non-no-op entries.
+struct RaftLogEntry {
+  std::shared_ptr<Block> block;
+  uint64_t term = 0;
+};
+
+/// Raft control-plane messages between orderer replicas. They travel
+/// through the simulated Network like any other traffic, so partitions,
+/// link loss and delay windows apply to consensus as well.
+struct AppendEntriesMsg {
+  uint64_t term = 0;
+  int leader = 0;
+  uint64_t prev_index = 0;  ///< log index immediately before `entries`
+  uint64_t prev_term = 0;
+  std::vector<RaftLogEntry> entries;  ///< empty = heartbeat
+  uint64_t leader_commit = 0;
+};
+
+struct AppendAckMsg {
+  uint64_t term = 0;
+  int follower = 0;
+  bool success = false;
+  /// On success: highest index now known replicated on the follower.
+  /// On failure: the follower's best hint for where logs still match
+  /// (min(own log length, prev_index - 1)), so the leader can skip the
+  /// one-at-a-time backoff.
+  uint64_t match = 0;
+};
+
+struct RequestVoteMsg {
+  uint64_t term = 0;
+  int candidate = 0;
+  uint64_t last_index = 0;
+  uint64_t last_term = 0;
+};
+
+struct VoteReplyMsg {
+  uint64_t term = 0;
+  int voter = 0;
+  bool granted = false;
+};
+
+/// One ordering-service replica: the ingress/cutting half mirrors the
+/// legacy Orderer (serial work queue, BlockCutter, batch timeout with
+/// generation-guarded cancellation, pause/resume), the consensus half
+/// is Raft — randomized election timeouts drawn from this replica's own
+/// seeded RNG stream, leader-based log replication, and quorum commit.
+/// Only the current leader ingests client envelopes and cuts blocks;
+/// envelopes hitting a follower or a crashed replica vanish silently,
+/// exactly like gRPC against a dead orderer, and the client recovers
+/// through its ack-timeout rebroadcast.
+class OrdererReplica {
+ public:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  /// Client ack callback: invoked once the transaction's block is
+  /// quorum-committed (accepted=true) or the transaction was
+  /// early-aborted at ordering (accepted=false, it will never commit).
+  using AckFn = std::function<void(TxId, bool accepted)>;
+
+  struct Params {
+    int index = 0;
+    NodeId node = 0;
+    Environment* env = nullptr;
+    Network* net = nullptr;
+    RaftGroup* group = nullptr;
+    BlockCutter::Config cutter;
+    SimTime block_timeout = 2 * kSecond;
+    TimingConfig timing;
+    OrderingConfig ordering;
+    Rng rng{1, 1};
+    bool streaming = false;
+    BlockProcessor* processor = nullptr;  // shared; only the leader calls it
+    /// Bootstrap role: replica 0 starts as the term-1 leader so a
+    /// healthy run needs no startup election.
+    bool bootstrap_leader = false;
+  };
+
+  explicit OrdererReplica(Params params);
+
+  /// Client ingress. The ack fires when the transaction's block is
+  /// quorum-committed; re-broadcasts of an already-logged transaction
+  /// are deduplicated by id (an already-committed one is re-acked
+  /// immediately — the first ack may have been lost).
+  void SubmitTransaction(Transaction tx, AckFn ack);
+
+  // --- Raft message handlers (invoked via network delivery) ----------
+  void HandleAppendEntries(const AppendEntriesMsg& msg);
+  void HandleAppendAck(const AppendAckMsg& msg);
+  void HandleRequestVote(const RequestVoteMsg& msg);
+  void HandleVoteReply(const VoteReplyMsg& msg);
+
+  // --- fault hooks ----------------------------------------------------
+  /// Crash-stop: volatile state (cutter contents, pending client acks,
+  /// pause backlog) is lost; the replicated log, current term, vote and
+  /// commit index survive, modelling Raft's stable storage.
+  void Crash();
+  /// Restarts a crashed replica as a follower; it catches up through
+  /// the leader's regular AppendEntries probing.
+  void Restart();
+  /// Legacy-compatible hiccup: ingress buffers, cutting suspends, but
+  /// heartbeats keep flowing (the process is alive), so no election.
+  void Pause();
+  void Resume();
+
+  // --- queries --------------------------------------------------------
+  bool alive() const { return alive_; }
+  bool paused() const { return paused_; }
+  Role role() const { return role_; }
+  int index() const { return index_; }
+  NodeId node() const { return node_; }
+  uint64_t current_term() const { return current_term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t log_size() const { return log_.size(); }
+  uint64_t blocks_cut() const { return blocks_cut_; }
+  uint64_t txs_received() const { return txs_received_; }
+  uint64_t txs_early_aborted() const { return txs_early_aborted_; }
+  /// Envelopes dropped because this replica was not the leader (or was
+  /// down) when they arrived — the client's rebroadcast signal.
+  uint64_t txs_dropped_not_leader() const { return txs_dropped_not_leader_; }
+  uint64_t txs_deferred_while_paused() const {
+    return txs_deferred_while_paused_;
+  }
+  const WorkQueue& queue() const { return queue_; }
+
+  /// 1-based log access for the group's delivery scan.
+  const RaftLogEntry& EntryAt(uint64_t index) const {
+    return log_[index - 1];
+  }
+
+ private:
+  friend class RaftGroup;
+
+  uint64_t LastIndex() const { return log_.size(); }
+  uint64_t TermAt(uint64_t index) const {
+    return index == 0 ? 0 : log_[index - 1].term;
+  }
+  int Quorum() const;
+
+  void Ingest(Transaction tx);
+  void HandleAdmitted(Transaction tx);
+  void CutBlock(std::vector<Transaction> txs, BlockCutReason reason);
+  void ArmTimeout();
+  void ArmElectionTimer();
+  void ArmHeartbeat();
+  void StartElection();
+  void BecomeLeader();
+  /// Adopts a higher term seen in any message: step down to follower,
+  /// clear the vote. A deposed leader loses its volatile ingress state
+  /// (cutter contents, pending acks) — clients recover via rebroadcast.
+  void MaybeAdoptTerm(uint64_t term);
+  /// Drops everything a real process would lose on crash/deposition:
+  /// cutter contents, queued ingress, pause backlog, pending acks.
+  void ClearVolatileIngress();
+  /// Appends an entry received from the leader (follower side).
+  void AppendReplicatedEntry(const RaftLogEntry& entry);
+  void TruncateFrom(uint64_t index);
+  void BroadcastAppendEntries();
+  void SendAppendEntries(int follower);
+  void SendAppendAck(int leader, bool success, uint64_t match);
+  void TryAdvanceCommit();
+  void AckCommitted();
+  /// Invokes and removes the pending ack for `id`, if any.
+  void ResolveAck(TxId id, bool accepted);
+
+  int index_;
+  NodeId node_;
+  Environment* env_;
+  Network* net_;
+  RaftGroup* group_;
+  BlockCutter cutter_;
+  SimTime block_timeout_;
+  TimingConfig timing_;
+  OrderingConfig ordering_;
+  Rng rng_;
+  bool streaming_;
+  BlockProcessor* processor_;
+
+  WorkQueue queue_;
+
+  // --- Raft state (survives Crash(), i.e. stable storage) -------------
+  uint64_t current_term_ = 1;
+  int voted_for_ = -1;
+  std::vector<RaftLogEntry> log_;
+  uint64_t commit_index_ = 0;
+  /// Non-no-op entries in log_ — the next cut block gets number
+  /// block_count_ + 1, keeping delivered numbers dense.
+  uint64_t block_count_ = 0;
+  /// tx id -> log index, for rebroadcast deduplication.
+  std::unordered_map<TxId, uint64_t> tx_log_index_;
+
+  // --- volatile state -------------------------------------------------
+  Role role_ = Role::kFollower;
+  bool alive_ = true;
+  int votes_received_ = 0;
+  std::vector<uint64_t> next_index_;   // leader only
+  std::vector<uint64_t> match_index_;  // leader only
+  /// Entries at index <= this are fully assembled (signed, serialized)
+  /// and may be shipped to followers / counted for commit. A leader's
+  /// freshly cut block only becomes replicatable when its assembly
+  /// task finishes on the serial queue.
+  uint64_t replicatable_index_ = 0;
+  uint64_t election_generation_ = 0;
+  uint64_t heartbeat_generation_ = 0;
+  uint64_t last_acked_commit_ = 0;
+  std::unordered_map<TxId, AckFn> pending_acks_;
+  /// Transactions accepted at ingress but not yet in the log (queued on
+  /// the work queue or sitting in the cutter) — rebroadcast dedup.
+  std::unordered_set<TxId> pending_ingress_;
+
+  // --- cutter state (mirrors Orderer) ---------------------------------
+  /// Bumped on crash/deposition so queued ingress tasks of the old
+  /// incarnation die instead of cutting into the wrong term.
+  uint64_t ingress_generation_ = 0;
+  uint64_t timeout_generation_ = 0;
+  bool timeout_armed_ = false;
+  bool paused_ = false;
+  std::vector<Transaction> paused_backlog_;
+
+  // --- counters -------------------------------------------------------
+  uint64_t txs_received_ = 0;
+  uint64_t txs_early_aborted_ = 0;
+  uint64_t txs_dropped_not_leader_ = 0;
+  uint64_t txs_deferred_while_paused_ = 0;
+  uint64_t blocks_cut_ = 0;
+};
+
+/// The replicated ordering service: owns N OrdererReplica actors, the
+/// shared delivery edge to the peers, and the group-wide delivered
+/// floor that guarantees each committed block is handed to the fabric
+/// exactly once (and in order) no matter how leadership moves.
+class RaftGroup {
+ public:
+  struct Params {
+    Environment* env = nullptr;
+    Network* net = nullptr;
+    int num_replicas = 3;
+    NodeId node_base = 0;  ///< replica i gets node id node_base + i
+    BlockCutter::Config cutter;
+    SimTime block_timeout = 2 * kSecond;
+    TimingConfig timing;
+    OrderingConfig ordering;
+    bool streaming = false;
+    BlockProcessor* processor = nullptr;
+    /// One pre-forked RNG per replica (harness forks streams 3000+i).
+    std::vector<Rng> replica_rngs;
+    /// Delivery targets, identical to the legacy Orderer's endpoints.
+    std::vector<Orderer::Params::PeerEndpoint> peers;
+    std::function<void(std::shared_ptr<Block>)> on_block_cut;
+    std::function<void(const Transaction&, TxValidationCode)> on_early_abort;
+    /// Optional counters inside the harness RunStats.
+    uint64_t* elections_sink = nullptr;
+    uint64_t* leader_changes_sink = nullptr;
+  };
+
+  explicit RaftGroup(Params params);
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  OrdererReplica* replica(int i) { return replicas_[static_cast<size_t>(i)].get(); }
+  const OrdererReplica* replica(int i) const {
+    return replicas_[static_cast<size_t>(i)].get();
+  }
+
+  /// Current leader replica index, or -1 during an election.
+  int leader_index() const { return leader_index_; }
+  /// Last replica known to lead (for leader-targeted faults fired while
+  /// an election is in progress).
+  int last_known_leader() const { return last_known_leader_; }
+
+  uint64_t delivered_blocks() const { return delivered_blocks_; }
+  uint64_t elections_started() const { return elections_started_; }
+  /// Leadership handovers after bootstrap.
+  uint64_t leader_changes() const { return leader_changes_; }
+
+  /// Sum of txs received across replicas (leader ingress only counts
+  /// once; rebroadcast duplicates are deduplicated at the replica).
+  uint64_t txs_received() const;
+  uint64_t txs_early_aborted() const;
+  uint64_t blocks_cut() const { return delivered_blocks_; }
+
+ private:
+  friend class OrdererReplica;
+
+  /// Delivers every committed-but-undelivered entry of `leader`'s log
+  /// to the peers, advancing the group floor. Log-matching + the
+  /// election restriction guarantee any leader's committed prefix is
+  /// identical, so the floor makes delivery exactly-once and in-order
+  /// across failovers.
+  void DeliverUpTo(OrdererReplica* leader, uint64_t commit_index);
+  void NoteElectionStarted(int replica, uint64_t term);
+  void NoteLeaderElected(int replica, uint64_t term);
+  void NoteCrash(int replica);
+
+  Environment* env_;
+  Network* net_;
+  std::vector<Orderer::Params::PeerEndpoint> peers_;
+  std::function<void(std::shared_ptr<Block>)> on_block_cut_;
+  std::function<void(const Transaction&, TxValidationCode)> on_early_abort_;
+  uint64_t* elections_sink_;
+  uint64_t* leader_changes_sink_;
+
+  std::vector<std::unique_ptr<OrdererReplica>> replicas_;
+  uint64_t delivered_index_ = 0;   ///< log index floor
+  uint64_t delivered_blocks_ = 0;  ///< block number floor
+  int leader_index_ = 0;
+  int last_known_leader_ = 0;
+  uint64_t elections_started_ = 0;
+  uint64_t leader_changes_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_ORDERING_RAFT_GROUP_H_

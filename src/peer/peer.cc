@@ -206,6 +206,15 @@ void Peer::ProcessBlock(std::shared_ptr<const Block> block) {
       [this, outcome, block]() {
         CommitStateUpdates(*state_, (*outcome)->state_updates);
         committed_height_ = block->number;
+        // Extend the committed hash chain (pure observation: no RNG
+        // draws, no scheduled events — disabled-subsystem runs stay
+        // bitwise identical).
+        uint64_t prev_chain = chain_records_.empty()
+                                  ? kChainHashSeed
+                                  : chain_records_.back().chain_hash;
+        uint64_t content = BlockContentHash(*block, (*outcome)->results);
+        chain_records_.push_back(PeerChainRecord{
+            block->number, content, MixChainHash(prev_chain, content)});
         if (Tracer* tracer = env_->tracer()) {
           tracer->OnPeerCommit(id_, block->number, env_->now());
         }

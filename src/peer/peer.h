@@ -129,6 +129,12 @@ class Peer {
   const WorkQueue& endorse_queue() const { return endorse_queue_; }
   const WorkQueue& validate_queue() const { return validate_queue_; }
 
+  /// The peer's committed hash chain, one record per committed block,
+  /// audited after every run by the chain-integrity invariant checker.
+  const std::vector<PeerChainRecord>& chain_records() const {
+    return chain_records_;
+  }
+
   /// Proposals lost because the peer was down (never answered).
   uint64_t proposals_dropped() const { return proposals_dropped_; }
   /// Block deliveries lost because the peer was down.
@@ -172,6 +178,7 @@ class Peer {
 
   uint64_t committed_height_ = 0;
   uint64_t next_to_enqueue_ = 1;
+  std::vector<PeerChainRecord> chain_records_;
   std::map<uint64_t, std::shared_ptr<const Block>> reorder_buffer_;
   SimTime last_snapshot_apply_ = 0;
 

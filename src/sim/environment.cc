@@ -16,6 +16,11 @@ void Environment::ScheduleAt(SimTime time, std::function<void()> action) {
   queue_.Push(time, std::move(action));
 }
 
+void Environment::ScheduleDaemon(SimTime delay, std::function<void()> action) {
+  if (delay < 0) delay = 0;
+  queue_.Push(now_ + delay, std::move(action), /*daemon=*/true);
+}
+
 void Environment::RunUntil(SimTime until) {
   while (!queue_.empty() && queue_.PeekTime() <= until) {
     Event ev = queue_.Pop();
@@ -27,7 +32,10 @@ void Environment::RunUntil(SimTime until) {
 }
 
 void Environment::RunAll() {
-  while (!queue_.empty()) {
+  // Daemon timers interleave normally while real work remains; once
+  // only daemon events are left the simulation is quiescent (a live
+  // Raft leader would otherwise heartbeat forever).
+  while (queue_.has_real_events()) {
     Event ev = queue_.Pop();
     now_ = ev.time;
     ++events_executed_;

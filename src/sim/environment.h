@@ -24,6 +24,13 @@ class Environment {
   /// Schedules `action` after `delay` (>= 0) simulated microseconds.
   void Schedule(SimTime delay, std::function<void()> action);
 
+  /// Schedules a daemon event: it fires normally while real (non-
+  /// daemon) work remains anywhere in the queue, but a queue holding
+  /// only daemon events counts as drained. Perpetual self-re-arming
+  /// control-plane timers (Raft heartbeats, election timeouts) use
+  /// this so RunAll() terminates once the workload has fully drained.
+  void ScheduleDaemon(SimTime delay, std::function<void()> action);
+
   /// Schedules `action` at absolute time `time` (clamped to now()).
   void ScheduleAt(SimTime time, std::function<void()> action);
 
@@ -31,7 +38,8 @@ class Environment {
   /// Events scheduled exactly at `until` still run.
   void RunUntil(SimTime until);
 
-  /// Runs until the event queue is empty.
+  /// Runs until no real (non-daemon) events remain. Equivalent to
+  /// draining the queue when no daemon timers were ever scheduled.
   void RunAll();
 
   /// Number of events executed so far (for tests / diagnostics).

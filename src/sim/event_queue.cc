@@ -11,16 +11,19 @@ namespace {
 constexpr size_t kInitialCapacity = 1024;
 }  // namespace
 
-void EventQueue::Push(SimTime time, std::function<void()> action) {
+void EventQueue::Push(SimTime time, std::function<void()> action,
+                      bool daemon) {
   if (heap_.capacity() == 0) heap_.reserve(kInitialCapacity);
-  heap_.push_back(Event{time, next_seq_++, std::move(action)});
+  heap_.push_back(Event{time, next_seq_++, std::move(action), daemon});
   std::push_heap(heap_.begin(), heap_.end(), Compare{});
+  if (!daemon) ++real_events_;
 }
 
 Event EventQueue::Pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Compare{});
   Event ev = std::move(heap_.back());
   heap_.pop_back();
+  if (!ev.daemon) --real_events_;
   return ev;
 }
 

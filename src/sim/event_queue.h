@@ -11,11 +11,15 @@ namespace fabricsim {
 
 /// A single scheduled callback. Events with equal timestamps fire in
 /// insertion order (FIFO tie-break via sequence number) so simulations
-/// are fully deterministic.
+/// are fully deterministic. Daemon events (perpetual control-plane
+/// timers like Raft heartbeats and election timeouts) fire like any
+/// other event while real work remains, but do not keep the
+/// simulation alive on their own — the DES analogue of daemon threads.
 struct Event {
   SimTime time;
   uint64_t seq;
   std::function<void()> action;
+  bool daemon = false;
 };
 
 /// Min-heap of events ordered by (time, seq). Implemented directly on
@@ -26,10 +30,14 @@ struct Event {
 class EventQueue {
  public:
   /// Schedules `action` at absolute simulated time `time`.
-  void Push(SimTime time, std::function<void()> action);
+  void Push(SimTime time, std::function<void()> action, bool daemon = false);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
+
+  /// True while at least one non-daemon event is pending — the
+  /// quiescence condition: a queue holding only daemon timers is done.
+  bool has_real_events() const { return real_events_ > 0; }
 
   /// Time of the earliest pending event. Must not be empty.
   SimTime PeekTime() const { return heap_.front().time; }
@@ -49,6 +57,7 @@ class EventQueue {
   };
   std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
+  size_t real_events_ = 0;
 };
 
 }  // namespace fabricsim

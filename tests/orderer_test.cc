@@ -219,6 +219,68 @@ TEST_F(OrdererTest, AllAbortedCutKeepsBlockNumbersDenseAndMonotone) {
   EXPECT_EQ(delivered_[1]->txs[0].id, 5u);
 }
 
+// A pause that spans an armed batch timeout swallows the firing; the
+// batched transaction must not wait forever, so Resume() re-arms and
+// the cut lands one full block_timeout after the resume — never at the
+// stale pre-pause deadline.
+TEST_F(OrdererTest, PauseSwallowsArmedTimeoutAndResumeReArms) {
+  Orderer orderer(BaseParams(10));
+  orderer.SubmitTransaction(SimpleTx(1));  // arms the 2 s timeout
+  env_->ScheduleAt(1 * kSecond, [&]() { orderer.Pause(); });
+  env_->ScheduleAt(3 * kSecond, [&]() { orderer.Resume(); });
+  // The original deadline (t = 2 s) falls inside the pause: nothing may
+  // be delivered before the resume.
+  env_->RunUntil(2900 * kMillisecond);
+  EXPECT_TRUE(delivered_.empty());
+  env_->RunAll();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0]->cut_reason, BlockCutReason::kTimeout);
+  // Re-armed at resume: cut at ~5 s, not the swallowed 2 s deadline.
+  EXPECT_GE(delivered_[0]->cut_time, 5 * kSecond);
+}
+
+// Resume() before the armed timeout's deadline must not arm a second
+// timer: the original deadline stays live and fires exactly once.
+TEST_F(OrdererTest, ResumeBeforeDeadlineDoesNotDoubleArm) {
+  Orderer orderer(BaseParams(10));
+  orderer.SubmitTransaction(SimpleTx(1));  // arms the 2 s timeout
+  env_->ScheduleAt(500 * kMillisecond, [&]() { orderer.Pause(); });
+  env_->ScheduleAt(1 * kSecond, [&]() { orderer.Resume(); });
+  env_->RunAll();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(orderer.blocks_cut(), 1u);
+  EXPECT_EQ(delivered_[0]->cut_reason, BlockCutReason::kTimeout);
+  // The pre-pause deadline held: ~2 s, not re-armed to 3 s.
+  EXPECT_GE(delivered_[0]->cut_time, 2 * kSecond);
+  EXPECT_LT(delivered_[0]->cut_time, 2 * kSecond + 500 * kMillisecond);
+}
+
+// Backlog flushed at Resume() fills a block and cuts by size; the
+// pre-pause timeout generation is stale by then and must not fire a
+// premature cut for the remainder.
+TEST_F(OrdererTest, ResumeFlushCutCancelsStaleTimeoutGeneration) {
+  Orderer orderer(BaseParams(2));
+  orderer.SubmitTransaction(SimpleTx(1));  // arms the 2 s timeout
+  env_->ScheduleAt(1 * kSecond, [&]() { orderer.Pause(); });
+  env_->ScheduleAt(1200 * kMillisecond, [&]() {
+    orderer.SubmitTransaction(SimpleTx(2));  // deferred to the backlog
+    orderer.SubmitTransaction(SimpleTx(3));
+  });
+  env_->ScheduleAt(1500 * kMillisecond, [&]() { orderer.Resume(); });
+  env_->RunAll();
+  EXPECT_EQ(orderer.txs_deferred_while_paused(), 2u);
+  ASSERT_EQ(delivered_.size(), 2u);
+  // Flush cuts {1, 2} by size just after the resume.
+  EXPECT_EQ(delivered_[0]->cut_reason, BlockCutReason::kMaxCount);
+  EXPECT_EQ(delivered_[0]->txs.size(), 2u);
+  // Tx 3 waits for a fresh timeout armed at the size cut (~3.5 s). If
+  // the stale pre-pause timer (deadline 2 s) fired, the cut would land
+  // a good second earlier.
+  EXPECT_EQ(delivered_[1]->cut_reason, BlockCutReason::kTimeout);
+  EXPECT_EQ(delivered_[1]->txs[0].id, 3u);
+  EXPECT_GE(delivered_[1]->cut_time, 3400 * kMillisecond);
+}
+
 TEST_F(OrdererTest, IngressCountsTransactions) {
   Orderer orderer(BaseParams(10));
   for (TxId id = 1; id <= 4; ++id) orderer.SubmitTransaction(SimpleTx(id));

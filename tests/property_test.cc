@@ -6,7 +6,9 @@
 #include <set>
 
 #include "src/common/rng.h"
+#include "src/core/runner.h"
 #include "src/ext/fabricpp/conflict_graph.h"
+#include "src/faults/fault_plan.h"
 #include "src/ordering/block_cutter.h"
 #include "src/peer/committer.h"
 #include "src/peer/validator.h"
@@ -214,6 +216,73 @@ TEST(PolicyPropertyTest, EvaluateMatchesBruteForceSemantics) {
     }
   }
 }
+
+// ----------------------- Chain integrity under chaos (regression)
+
+// RunOnce audits every run with the chain-integrity checker and turns
+// a violation into an Internal error, so "the run succeeded" is the
+// property: no fault mix may leave diverging peer chains, non-dense
+// numbering, double-committed or lost-acked transactions.
+class ChaosIntegrityPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+// The PR 3 chaos mix (compat single-leader ordering): org delay, peer
+// crash + restart, orderer pause, lossy client link, retries and MVCC
+// resubmission all active at once.
+TEST_P(ChaosIntegrityPropertyTest, CompatFaultMixKeepsTheChainSound) {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 8 * kSecond;
+  config.arrival_rate_tps = 60;
+  config.fabric.retry.endorse_timeout = 400 * kMillisecond;
+  config.fabric.retry.max_endorse_retries = 2;
+  config.fabric.retry.resubmit_on_mvcc = true;
+  DelayWindow window;
+  window.org = 1;
+  window.extra = 50 * kMillisecond;
+  window.jitter = 5 * kMillisecond;
+  window.from = 2 * kSecond;
+  window.to = 5 * kSecond;
+  LinkFaultRule lossy;  // orderer <-> first client, 5% loss mid-run
+  lossy.a = 0;
+  lossy.b = 5;
+  lossy.drop_prob = 0.05;
+  lossy.from = 2 * kSecond;
+  lossy.to = 6 * kSecond;
+  config.fabric.faults.Delay(window)
+      .Crash(/*peer=*/1, 3 * kSecond, /*restart_at=*/5 * kSecond)
+      .PauseOrderer(4 * kSecond, 4500 * kMillisecond)
+      .DropLink(lossy);
+  Result<FailureReport> report = RunOnce(config, GetParam());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().ledger_txs, 0u);
+}
+
+// Replicated ordering under a leader crash layered with a peer crash
+// and an org-wide delay: failover plus client re-broadcasts must not
+// lose or double-commit any acked transaction on any peer.
+TEST_P(ChaosIntegrityPropertyTest, LeaderCrashMixKeepsTheChainSound) {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 10 * kSecond;
+  config.arrival_rate_tps = 50;
+  config.fabric.ordering.replicated = true;
+  config.fabric.retry.resubmit_on_mvcc = true;
+  DelayWindow window;
+  window.org = 0;
+  window.extra = 20 * kMillisecond;
+  window.jitter = 2 * kMillisecond;
+  window.from = 1 * kSecond;
+  window.to = 6 * kSecond;
+  config.fabric.faults.Delay(window)
+      .Crash(/*peer=*/2, 4 * kSecond, /*restart_at=*/7 * kSecond)
+      .CrashLeader(3 * kSecond, /*restart_at=*/6 * kSecond);
+  Result<FailureReport> report = RunOnce(config, GetParam());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().ledger_txs, 0u);
+  EXPECT_GE(report.value().orderer_elections, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosIntegrityPropertyTest,
+                         ::testing::Values(1u, 11u, 23u, 42u));
 
 }  // namespace
 }  // namespace fabricsim
