@@ -1,0 +1,92 @@
+// Channel scaling: the same aggregate load spread over 1..8 channels
+// on the C1 and C2 clusters. Each channel is an independent E-O-V
+// pipeline with its own key space, so sharding removes cross-shard
+// MVCC conflicts and lets blocks of different channels validate
+// concurrently — valid goodput rises with the channel count. But
+// every peer runs all channels through one shared endorsement queue
+// and a fixed commit-worker budget, so total on-ledger throughput
+// stays pinned at the shared-peer ceiling no matter how many channels
+// the load is spread over. Per-channel MVCC rates land in the
+// version-2 "channels" section of BENCH_channels_scaling.json.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+namespace {
+
+void Sweep(const char* cluster, ExperimentConfig base, JsonWriter& json) {
+  std::printf("-- %s --\n", cluster);
+  std::printf("%9s %14s %12s %12s %18s\n", "channels", "committed tps",
+              "valid tps", "mvcc %", "per-channel mvcc %");
+  double single_channel_committed = 0;
+  double single_channel_valid = 0;
+  double best_valid = 0;
+  double worst_committed = 1e30;
+  for (int channels : {1, 2, 4, 8}) {
+    ExperimentConfig config = ExperimentConfig::Builder(base)
+                                  .Channels(channels)
+                                  .ChannelSkew(0.9)
+                                  .Build();
+    json.Config(config);
+    double start = NowMs();
+    FailureReport r = MustRun(config);
+    double wall_ms = NowMs() - start;
+
+    std::string per_channel;
+    for (const ChannelFailureBreakdown& c : r.per_channel) {
+      per_channel += StrFormat("%s%.1f", per_channel.empty() ? "" : "/",
+                               c.mvcc_pct);
+      json.ChannelRow(c.channel, std::string(cluster) + "_mvcc", channels,
+                      "mvcc_pct", c.mvcc_pct);
+    }
+    std::printf("%9d %14.1f %12.1f %12.2f %18s\n", channels,
+                r.committed_throughput_tps, r.valid_throughput_tps,
+                r.mvcc_pct, per_channel.empty() ? "-" : per_channel.c_str());
+    std::fflush(stdout);
+    json.RowMetric(std::string(cluster) + "_committed_tps", channels,
+                   config.base_seed, wall_ms, "tps",
+                   r.committed_throughput_tps);
+    json.RowMetric(std::string(cluster) + "_valid_tps", channels,
+                   config.base_seed, wall_ms, "tps", r.valid_throughput_tps);
+    if (channels == 1) {
+      single_channel_committed = r.committed_throughput_tps;
+      single_channel_valid = r.valid_throughput_tps;
+    }
+    best_valid = std::max(best_valid, r.valid_throughput_tps);
+    worst_committed = std::min(worst_committed, r.committed_throughput_tps);
+  }
+  // The two halves of the channel story: goodput rises with the shard
+  // count (per-channel key spaces remove cross-shard MVCC conflicts),
+  // while total on-ledger throughput stays pinned at the shared peer
+  // pipeline's ceiling — every channel still funnels through the same
+  // serial endorsement queue and commit-worker budget.
+  bool goodput_rose = best_valid > single_channel_valid * 1.05;
+  bool ceiling_held = worst_committed > single_channel_committed * 0.9;
+  std::printf("%s\n\n",
+              goodput_rose && ceiling_held
+                  ? "valid goodput rose with the channel count while total "
+                    "committed throughput stayed at the shared-peer ceiling"
+                  : "unexpected scaling shape (goodput flat or ceiling "
+                    "collapsed) - investigate before trusting the sweep");
+}
+
+}  // namespace
+
+int main() {
+  Header("Channel scaling - committed throughput vs channel count",
+         "independent per-channel pipelines raise aggregate throughput "
+         "and cut MVCC conflicts until the peers' shared endorsement/"
+         "validation resources saturate");
+
+  JsonWriter json("channels_scaling");
+  // Overdrive both clusters well past single-channel capacity so the
+  // shared-resource ceiling, not the offered load, is what limits the
+  // curve.
+  Sweep("C1", BaseC1(/*rate_tps=*/400), json);
+  Sweep("C2", BaseC2(/*rate_tps=*/400), json);
+  return 0;
+}

@@ -125,10 +125,22 @@ class JsonWriter {
     writer_.AddRow(buf);
   }
 
+  /// Per-channel row of a sharded run (multi-channel benches). Lands
+  /// in the document's "channels" section and bumps the artifact to
+  /// schema version 2.
+  void ChannelRow(int channel, const std::string& figure, double point,
+                  const char* metric, double value) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"figure\": \"%s\", \"point\": %g, \"%s\": %.6f}",
+                  JsonEscape(figure).c_str(), point, metric, value);
+    writer_.AddChannelRow(channel, buf);
+  }
+
   /// Writes all accumulated rows; safe to call more than once (later
   /// calls rewrite the file with the full row set).
   void Flush() {
-    if (writer_.row_count() == 0) return;
+    if (writer_.row_count() == 0 && writer_.channel_row_count() == 0) return;
     writer_.WriteFile("BENCH_" + name_ + ".json");
   }
 

@@ -1,0 +1,113 @@
+// Cross-channel interference: a cold channel pays for its noisy
+// neighbor. Two runs drive the SAME ~60 tps at channel 1, but in the
+// second run channel 0 turns hot (Zipf channel popularity, ~4x the
+// traffic). Channels are independent pipelines on paper — separate
+// ledgers, separate key spaces, zero shared transactions — yet the
+// cold channel's proposals wait behind the hot channel's backlog in
+// every peer's shared endorsement queue, and its blocks compete for
+// the same commit-worker budget. The peers' queue-delay stats make
+// the starvation directly visible.
+#include <cstdio>
+#include <memory>
+
+#include "src/core/failure_report.h"
+#include "src/core/runner.h"
+#include "src/fabric/fabric_network.h"
+#include "src/workload/paper_workloads.h"
+
+using namespace fabricsim;
+
+namespace {
+
+struct ColdChannelView {
+  double committed_tps = 0;      // cold channel's committed throughput
+  double endorse_delay_ms = 0;   // mean endorsement queueing on peer 0
+  double endorse_delay_max = 0;  // worst single proposal
+  uint64_t ledger_txs = 0;
+};
+
+ColdChannelView RunAndInspect(int channels, double channel_skew,
+                              double rate_tps) {
+  ExperimentConfig config = ExperimentConfig::Builder()
+                                .Channels(channels)
+                                .ChannelSkew(channel_skew)
+                                .Duration(30 * kSecond)
+                                .RateTps(rate_tps)
+                                .Build();
+  auto chaincode = MakeChaincodeFor(config.workload).value();
+  auto workload = std::shared_ptr<WorkloadGenerator>(
+      std::move(MakeWorkload(config.workload, /*rich=*/true).value()));
+  Environment env(42);
+  FabricNetwork network(config.fabric, &env, chaincode, workload);
+  if (!network.Init().ok()) {
+    std::fprintf(stderr, "network init failed\n");
+    std::exit(1);
+  }
+  network.set_channel_affinity(config.workload.channel_affinity);
+  network.StartLoad(config.arrival_rate_tps, config.duration);
+  env.RunAll();
+
+  const ChannelId cold = 1;
+  std::vector<const BlockStore*> ledgers;
+  for (int c = 0; c < network.num_channels(); ++c) {
+    ledgers.push_back(&network.ledger(c));
+  }
+  FailureReport report =
+      BuildFailureReport(ledgers, network.stats(), config.duration);
+
+  ColdChannelView view;
+  view.committed_tps = report.per_channel[cold].committed_throughput_tps;
+  view.ledger_txs = report.per_channel[cold].ledger_txs;
+  // With two channels and two commit workers each channel always finds
+  // a free validation worker, so the contended shared resource is the
+  // peers' serial endorsement queue — every cold-channel proposal
+  // waits behind the hot channel's backlog there.
+  const WorkQueue& endorse = network.peers()[0]->endorse_queue();
+  view.endorse_delay_ms = endorse.queue_delay_stats().mean();
+  view.endorse_delay_max = endorse.queue_delay_stats().max();
+  return view;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cross-channel hot keys: a cold channel behind a hot "
+              "neighbor (C1, CouchDB)\n");
+  std::printf("======================================================="
+              "================\n\n");
+
+  // Quiet neighborhood: two channels split 120 tps evenly, so channel
+  // 1 sees ~60 tps with an equally loaded neighbor.
+  ColdChannelView quiet = RunAndInspect(/*channels=*/2, /*channel_skew=*/0,
+                                        /*rate_tps=*/120);
+  // Hot neighborhood: Zipf popularity (theta = 2) sends ~80% of 300
+  // tps to channel 0 — channel 1 still sees ~60 tps of its own
+  // traffic, but now shares every peer with a hot channel.
+  ColdChannelView hot = RunAndInspect(/*channels=*/2, /*channel_skew=*/2.0,
+                                      /*rate_tps=*/300);
+
+  std::printf("channel 1 (the cold channel, ~60 tps offered in both "
+              "runs):\n\n");
+  std::printf("%-28s %16s %16s\n", "", "quiet neighbor", "hot neighbor");
+  std::printf("%-28s %16llu %16llu\n", "ledger txs",
+              static_cast<unsigned long long>(quiet.ledger_txs),
+              static_cast<unsigned long long>(hot.ledger_txs));
+  std::printf("%-28s %16.1f %16.1f\n", "committed tps", quiet.committed_tps,
+              hot.committed_tps);
+  std::printf("%-28s %16.2f %16.2f\n", "endorse queue delay (ms)",
+              quiet.endorse_delay_ms, hot.endorse_delay_ms);
+  std::printf("%-28s %16.2f %16.2f\n", "worst proposal delay (ms)",
+              quiet.endorse_delay_max, hot.endorse_delay_max);
+
+  double amplification = quiet.endorse_delay_ms > 0
+                             ? hot.endorse_delay_ms / quiet.endorse_delay_ms
+                             : 0;
+  std::printf("\nthe hot neighbor amplified the cold channel's "
+              "endorsement queueing %.1fx\nand cut its in-window "
+              "committed throughput, without sharing a single key\nor "
+              "transaction with it: the contention lives entirely in "
+              "the peers'\nshared endorsement queue and commit "
+              "workers.\n",
+              amplification);
+  return 0;
+}

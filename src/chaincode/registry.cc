@@ -1,33 +1,63 @@
 #include "src/chaincode/registry.h"
 
+#include <algorithm>
+
 #include "src/chaincode/digital_voting.h"
 #include "src/chaincode/drm.h"
 #include "src/chaincode/ehr.h"
 #include "src/chaincode/genchain.h"
 #include "src/chaincode/supply_chain.h"
+#include "src/common/strings.h"
 
 namespace fabricsim {
 
 Status ChaincodeRegistry::Register(std::shared_ptr<Chaincode> chaincode) {
+  return Register(kDefaultChannel, std::move(chaincode));
+}
+
+Status ChaincodeRegistry::Register(ChannelId channel,
+                                   std::shared_ptr<Chaincode> chaincode) {
   if (chaincode == nullptr) {
     return Status::InvalidArgument("null chaincode");
   }
   std::string name = chaincode->name();
-  if (!chaincodes_.emplace(name, std::move(chaincode)).second) {
-    return Status::AlreadyExists("chaincode already installed: " + name);
+  if (!chaincodes_.emplace(std::make_pair(channel, name), std::move(chaincode))
+           .second) {
+    return Status::AlreadyExists(
+        StrFormat("chaincode already installed on channel %d: %s", channel,
+                  name.c_str()));
   }
   return Status::OK();
 }
 
 Chaincode* ChaincodeRegistry::Get(const std::string& name) const {
-  auto it = chaincodes_.find(name);
-  return it == chaincodes_.end() ? nullptr : it->second.get();
+  return Get(kDefaultChannel, name);
+}
+
+Chaincode* ChaincodeRegistry::Get(ChannelId channel,
+                                  const std::string& name) const {
+  auto it = chaincodes_.find(std::make_pair(channel, name));
+  if (it != chaincodes_.end()) return it->second.get();
+  if (channel != kDefaultChannel) {
+    it = chaincodes_.find(std::make_pair(kDefaultChannel, name));
+    if (it != chaincodes_.end()) return it->second.get();
+  }
+  return nullptr;
 }
 
 std::vector<std::string> ChaincodeRegistry::InstalledNames() const {
+  return InstalledNames(kDefaultChannel);
+}
+
+std::vector<std::string> ChaincodeRegistry::InstalledNames(
+    ChannelId channel) const {
   std::vector<std::string> names;
-  names.reserve(chaincodes_.size());
-  for (const auto& [name, cc] : chaincodes_) names.push_back(name);
+  for (const auto& [key, cc] : chaincodes_) {
+    if (key.first != channel && key.first != kDefaultChannel) continue;
+    names.push_back(key.second);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
 }
 

@@ -1,11 +1,13 @@
 #ifndef FABRICSIM_CHAINCODE_REGISTRY_H_
 #define FABRICSIM_CHAINCODE_REGISTRY_H_
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/channels/channel_types.h"
 #include "src/chaincode/chaincode.h"
 #include "src/common/status.h"
 
@@ -14,22 +16,46 @@ namespace fabricsim {
 /// Maps installed chaincode names to implementations. Chaincodes are
 /// stateless (all state flows through the stub), so one shared
 /// instance serves every peer.
+///
+/// Installations are keyed by (channel, name), mirroring Fabric where
+/// chaincode is instantiated per channel: the same name may bind to
+/// different implementations on different channels. Lookups fall back
+/// to the default channel's installation when the channel has no
+/// channel-specific one, so a chaincode registered the legacy way
+/// (channel-less) serves every channel.
 class ChaincodeRegistry {
  public:
-  /// Registers a chaincode under its name(). Fails on duplicates.
+  /// Registers a chaincode under its name() on the default channel.
+  /// Fails on duplicates.
   Status Register(std::shared_ptr<Chaincode> chaincode);
 
-  /// Looks up a chaincode; nullptr when not installed.
+  /// Registers a chaincode on one channel. Fails when that (channel,
+  /// name) pair is already taken.
+  Status Register(ChannelId channel, std::shared_ptr<Chaincode> chaincode);
+
+  /// Looks up a chaincode on the default channel; nullptr when not
+  /// installed.
   Chaincode* Get(const std::string& name) const;
 
+  /// Looks up a chaincode as seen from `channel`: the channel-specific
+  /// installation if there is one, else the default channel's.
+  Chaincode* Get(ChannelId channel, const std::string& name) const;
+
+  /// Names installed on the default channel.
   std::vector<std::string> InstalledNames() const;
+
+  /// Names visible from `channel` (channel-specific plus inherited
+  /// default-channel installations), sorted, deduplicated.
+  std::vector<std::string> InstalledNames(ChannelId channel) const;
 
   /// Registry with the paper's four use-case chaincodes plus the
   /// default genChain.
   static ChaincodeRegistry CreateDefault();
 
  private:
-  std::unordered_map<std::string, std::shared_ptr<Chaincode>> chaincodes_;
+  /// Ordered map so InstalledNames() is deterministic.
+  std::map<std::pair<ChannelId, std::string>, std::shared_ptr<Chaincode>>
+      chaincodes_;
 };
 
 }  // namespace fabricsim

@@ -1,0 +1,34 @@
+#include "src/channels/channel_affinity.h"
+
+#include <algorithm>
+
+namespace fabricsim {
+
+ChannelAffinity::ChannelAffinity(const ChannelAffinityConfig& config,
+                                 int num_channels, int client_index) {
+  if (num_channels < 1) num_channels = 1;
+  visible_.clear();
+  int per_client = config.channels_per_client;
+  if (per_client <= 0 || per_client >= num_channels) {
+    for (ChannelId c = 0; c < num_channels; ++c) visible_.push_back(c);
+  } else {
+    int start = (client_index * per_client) % num_channels;
+    for (int j = 0; j < per_client; ++j) {
+      visible_.push_back(
+          static_cast<ChannelId>((start + j) % num_channels));
+    }
+    // Ascending ids so Zipf rank 0 lands on the lowest visible channel.
+    std::sort(visible_.begin(), visible_.end());
+  }
+  if (visible_.size() > 1) {
+    double theta = config.skew < 0 ? 0 : config.skew;
+    popularity_.emplace(visible_.size(), theta);
+  }
+}
+
+ChannelId ChannelAffinity::Pick(Rng& rng) {
+  if (visible_.size() == 1) return visible_[0];
+  return visible_[popularity_->NextRank(rng)];
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,49 @@
+#ifndef FABRICSIM_CHANNELS_CHANNEL_AFFINITY_H_
+#define FABRICSIM_CHANNELS_CHANNEL_AFFINITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/channels/channel_types.h"
+#include "src/common/rng.h"
+
+namespace fabricsim {
+
+/// Per-client channel chooser. Built once per client from the
+/// workload's ChannelAffinityConfig; Pick() draws the channel each
+/// submitted transaction targets.
+///
+/// Popularity is Zipf-ranked over the client's *visible* channels with
+/// the lowest channel id as the hottest rank, so under skew every
+/// client concentrates on channel 0 (or the lowest channel of its
+/// pinned subset) and global popularity is skewed the same way. With
+/// `channels_per_client = k > 0`, client i sees the k consecutive
+/// channels starting at (i * k) mod num_channels — subsets tile the
+/// channel space so every channel has at least one client when there
+/// are enough clients.
+///
+/// Determinism contract: a client whose visible set has exactly one
+/// channel never touches the RNG, so single-channel runs draw the
+/// exact same stream as the pre-channel code.
+class ChannelAffinity {
+ public:
+  /// Single-channel default: Pick() always returns channel 0.
+  ChannelAffinity() = default;
+
+  ChannelAffinity(const ChannelAffinityConfig& config, int num_channels,
+                  int client_index);
+
+  /// Channel for the next transaction. Draws from `rng` only when
+  /// more than one channel is visible.
+  ChannelId Pick(Rng& rng);
+
+  const std::vector<ChannelId>& visible() const { return visible_; }
+
+ private:
+  std::vector<ChannelId> visible_{kDefaultChannel};
+  std::optional<ZipfianGenerator> popularity_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CHANNELS_CHANNEL_AFFINITY_H_

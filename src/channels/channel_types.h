@@ -1,0 +1,39 @@
+#ifndef FABRICSIM_CHANNELS_CHANNEL_TYPES_H_
+#define FABRICSIM_CHANNELS_CHANNEL_TYPES_H_
+
+#include <cstdint>
+
+#include "src/ledger/transaction.h"
+
+namespace fabricsim {
+
+/// The channel every single-channel deployment runs on, and the
+/// namespace chaincode registrations fall back to when a channel has
+/// no channel-specific installation.
+constexpr ChannelId kDefaultChannel = 0;
+
+/// How clients spread their transactions across channels. A real
+/// Fabric network shards load by channel; popularity is rarely even —
+/// one consortium's channel often carries most of the traffic while
+/// side channels idle. `skew` is the Zipf theta over channel
+/// popularity (0 = uniform; channel 0 is always the hottest rank), and
+/// `channels_per_client` pins each client to a contiguous subset of
+/// channels (0 = every client sees every channel), modelling clients
+/// that are members of only some consortia.
+struct ChannelAffinityConfig {
+  double skew = 0.0;
+  int channels_per_client = 0;
+};
+
+/// Cache key combining channel and per-channel block number. Block
+/// numbers are dense per channel and realistic runs stay far below
+/// 2^48 blocks, so the channel tag rides in the top bits; channel 0
+/// maps to the bare block number (the pre-channel key layout).
+inline uint64_t ChannelBlockKey(ChannelId channel, uint64_t block_number) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(channel)) << 48) |
+         block_number;
+}
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CHANNELS_CHANNEL_TYPES_H_

@@ -27,17 +27,24 @@ void Client::ScheduleNextArrival() {
 void Client::SubmitOne() {
   TxId tx_id = ++(*p_.tx_id_counter);
   ++p_.stats->txs_generated;
-  Submit(tx_id, p_.workload->Next(p_.rng), /*resubmit_count=*/0);
+  // The channel draw precedes the invocation draw; with one visible
+  // channel Pick() consumes no randomness, so single-channel runs see
+  // the exact legacy RNG stream.
+  ChannelId channel = p_.affinity.Pick(p_.rng);
+  Submit(tx_id, p_.workload->Next(p_.rng), /*resubmit_count=*/0, channel);
 }
 
-void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count) {
+void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count,
+                    ChannelId channel) {
   PendingTx pending;
   pending.invocation = std::move(invocation);
+  pending.channel = channel;
   pending.submit_time = p_.env->now();
   pending.rr_base = round_robin_;
   pending.resubmit_count = resubmit_count;
   if (Tracer* tracer = p_.env->tracer()) {
-    tracer->OnClientSubmit(tx_id, pending.invocation.function, p_.env->now());
+    tracer->OnClientSubmit(tx_id, pending.invocation.function, channel,
+                           p_.env->now());
   }
 
   // One endorsing peer per organization of a minimal policy-
@@ -71,6 +78,7 @@ void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count) {
 void Client::SendProposal(TxId tx_id, Peer* peer, int attempt) {
   ProposalRequest request;
   request.tx_id = tx_id;
+  request.channel = in_flight_[tx_id].channel;
   request.invocation = in_flight_[tx_id].invocation;
   NodeId peer_node = peer->node();
   if (Tracer* tracer = p_.env->tracer()) {
@@ -217,6 +225,7 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
 
   Transaction tx;
   tx.id = tx_id;
+  tx.channel = pending.channel;
   tx.chaincode = p_.workload->chaincode();
   tx.function = pending.invocation.function;
   tx.args = pending.invocation.args;
@@ -252,37 +261,58 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
     // resubmission; the harness routes the verdict back via
     // OnCommittedResult.
     (*p_.resubmit_registry)[tx_id] = this;
-    resubmit_meta_[tx_id] =
-        ResubmitMeta{pending.invocation, pending.resubmit_count};
+    resubmit_meta_[tx_id] = ResubmitMeta{pending.invocation,
+                                         pending.resubmit_count,
+                                         pending.channel};
   }
   SimTime collect_cost =
       p_.timing.client_collect_cost *
       static_cast<SimTime>(pending.responses.size());
   uint64_t bytes = tx.ByteSize();
+  ChannelId channel = pending.channel;
   auto shared_tx = std::make_shared<Transaction>(std::move(tx));
-  if (!p_.orderer_endpoints.empty()) {
+  const std::vector<Params::OrdererEndpoint>& endpoints =
+      EndpointsFor(channel);
+  if (!endpoints.empty()) {
     // Replicated ordering: keep the envelope around until a replica
-    // acks it, starting at the last known leader.
-    int replica = leader_hint_ % static_cast<int>(p_.orderer_endpoints.size());
-    awaiting_order_ack_[tx_id] = PendingOrder{shared_tx, replica, 0};
+    // acks it, starting at the channel's last known leader.
+    int replica = LeaderHintFor(channel) % static_cast<int>(endpoints.size());
+    awaiting_order_ack_[tx_id] = PendingOrder{shared_tx, replica, 0, channel};
     p_.env->Schedule(collect_cost, [this, tx_id, replica]() {
       BroadcastToOrderer(tx_id, replica, /*attempt=*/0);
     });
     return;
   }
-  p_.env->Schedule(collect_cost, [this, shared_tx, bytes]() {
+  Orderer* orderer = p_.channel_orderers.empty()
+                         ? p_.orderer
+                         : p_.channel_orderers[static_cast<size_t>(channel)];
+  p_.env->Schedule(collect_cost, [this, shared_tx, bytes, orderer]() {
     p_.net->Send(*p_.env, p_.node, p_.orderer_node, bytes,
-                 [this, shared_tx]() {
-                   p_.orderer->SubmitTransaction(std::move(*shared_tx));
+                 [orderer, shared_tx]() {
+                   orderer->SubmitTransaction(std::move(*shared_tx));
                  });
   });
+}
+
+const std::vector<Client::Params::OrdererEndpoint>& Client::EndpointsFor(
+    ChannelId channel) const {
+  if (!p_.channel_orderer_endpoints.empty()) {
+    return p_.channel_orderer_endpoints[static_cast<size_t>(channel)];
+  }
+  return p_.orderer_endpoints;
+}
+
+int& Client::LeaderHintFor(ChannelId channel) {
+  size_t index = static_cast<size_t>(channel);
+  if (index >= leader_hints_.size()) leader_hints_.resize(index + 1, 0);
+  return leader_hints_[index];
 }
 
 void Client::BroadcastToOrderer(TxId tx_id, int replica, int attempt) {
   auto it = awaiting_order_ack_.find(tx_id);
   if (it == awaiting_order_ack_.end()) return;
   const Params::OrdererEndpoint& endpoint =
-      p_.orderer_endpoints[static_cast<size_t>(replica)];
+      EndpointsFor(it->second.channel)[static_cast<size_t>(replica)];
   std::shared_ptr<Transaction> tx = it->second.tx;
   NodeId endpoint_node = endpoint.node;
   // The ack travels back over the network like a Fabric broadcast
@@ -305,10 +335,16 @@ void Client::BroadcastToOrderer(TxId tx_id, int replica, int attempt) {
 void Client::OnOrdererAck(TxId tx_id, bool accepted, int replica) {
   auto it = awaiting_order_ack_.find(tx_id);
   if (it == awaiting_order_ack_.end()) return;  // duplicate/stale ack
+  ChannelId channel = it->second.channel;
   awaiting_order_ack_.erase(it);
-  leader_hint_ = replica;
-  if (accepted && p_.acked_txs != nullptr) {
-    p_.acked_txs->push_back(tx_id);
+  LeaderHintFor(channel) = replica;
+  if (accepted) {
+    if (p_.acked_txs_by_channel != nullptr) {
+      (*p_.acked_txs_by_channel)[static_cast<size_t>(channel)].push_back(
+          tx_id);
+    } else if (p_.acked_txs != nullptr) {
+      p_.acked_txs->push_back(tx_id);
+    }
   }
 }
 
@@ -330,8 +366,8 @@ void Client::OnOrdererAckTimeout(TxId tx_id, int attempt) {
   // walk to the next one. The walk revisits every replica, so the new
   // leader is found wherever it landed.
   pending.attempt = attempt + 1;
-  pending.replica =
-      (pending.replica + 1) % static_cast<int>(p_.orderer_endpoints.size());
+  pending.replica = (pending.replica + 1) %
+                    static_cast<int>(EndpointsFor(pending.channel).size());
   ++p_.stats->orderer_rebroadcasts;
   BroadcastToOrderer(tx_id, pending.replica, pending.attempt);
 }
@@ -354,12 +390,14 @@ void Client::OnCommittedResult(TxId tx_id, TxValidationCode code) {
   }
   auto invocation = std::make_shared<Invocation>(std::move(meta.invocation));
   int next_count = meta.resubmit_count + 1;
+  ChannelId channel = meta.channel;
   // The resubmission re-executes against fresh state — it is a brand
-  // new transaction to the rest of the pipeline, and can of course
-  // conflict again (retry amplification).
+  // new transaction to the rest of the pipeline (on the original
+  // channel), and can of course conflict again (retry amplification).
   p_.env->Schedule(p_.retry.resubmit_backoff,
-                   [this, new_id, invocation, next_count]() {
-                     Submit(new_id, std::move(*invocation), next_count);
+                   [this, new_id, invocation, next_count, channel]() {
+                     Submit(new_id, std::move(*invocation), next_count,
+                            channel);
                    });
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/channels/channel_affinity.h"
 #include "src/common/rng.h"
 #include "src/ordering/orderer.h"
 #include "src/peer/peer.h"
@@ -76,6 +77,11 @@ class Client {
     std::vector<std::vector<Peer*>> peers_by_org;
     Orderer* orderer = nullptr;
     NodeId orderer_node = 0;
+    /// Multi-channel compat ordering: one Orderer per channel (all
+    /// sharing the orderer node). When non-empty, submissions for
+    /// channel c go to channel_orderers[c]; when empty, `orderer`
+    /// serves the single-channel path unchanged.
+    std::vector<Orderer*> channel_orderers;
     /// Replicated ordering: one endpoint per orderer replica. When
     /// non-empty the client broadcasts envelopes here (with ack-timeout
     /// failover) instead of through `orderer`; the legacy single-
@@ -88,6 +94,11 @@ class Client {
           submit;
     };
     std::vector<OrdererEndpoint> orderer_endpoints;
+    /// Multi-channel replicated ordering: per-channel endpoint sets
+    /// (index = channel). When non-empty it replaces
+    /// `orderer_endpoints`, and each channel tracks its own leader
+    /// hint — a failover on a hot channel never misroutes a cold one.
+    std::vector<std::vector<OrdererEndpoint>> channel_orderer_endpoints;
     /// How long to wait for the ordering ack before re-broadcasting to
     /// the next replica (replicated mode only).
     SimTime orderer_ack_timeout = 0;
@@ -96,6 +107,13 @@ class Client {
     /// Harness sink: ids of transactions whose ordering ack reached
     /// this client (the invariant checker proves none were lost).
     std::vector<TxId>* acked_txs = nullptr;
+    /// Per-channel variant of `acked_txs` (index = channel) for
+    /// multi-channel runs; when set it wins over `acked_txs`.
+    std::vector<std::vector<TxId>>* acked_txs_by_channel = nullptr;
+    /// Which channels this client submits to and how it spreads load
+    /// across them. The default pins everything to channel 0 without
+    /// consuming randomness.
+    ChannelAffinity affinity;
     TimingConfig timing;
     Rng rng{1, 1};
     /// This client's share of the total arrival rate.
@@ -129,6 +147,9 @@ class Client {
  private:
   struct PendingTx {
     Invocation invocation;
+    /// Channel drawn (via the affinity model) at submission; carried
+    /// through endorsement, ordering, and any resubmission.
+    ChannelId channel = 0;
     SimTime submit_time = 0;
     /// Orgs actually targeted (those with at least one peer); complete
     /// once every one of them has responded.
@@ -149,13 +170,15 @@ class Client {
   struct ResubmitMeta {
     Invocation invocation;
     int resubmit_count = 0;
+    ChannelId channel = 0;
   };
 
   void ScheduleNextArrival();
   void SubmitOne();
   /// Proposes `invocation` under a fresh transaction id; shared by
   /// first submissions and resubmissions.
-  void Submit(TxId tx_id, Invocation invocation, int resubmit_count);
+  void Submit(TxId tx_id, Invocation invocation, int resubmit_count,
+              ChannelId channel);
   void SendProposal(TxId tx_id, Peer* peer, int attempt);
   void ScheduleEndorseTimeout(TxId tx_id, int attempt);
   void OnEndorseTimeout(TxId tx_id, int attempt);
@@ -167,18 +190,24 @@ class Client {
     std::shared_ptr<Transaction> tx;
     int replica = 0;  ///< endpoint index of the current attempt
     int attempt = 0;  ///< broadcast round (staleness guard)
+    ChannelId channel = 0;
   };
   void BroadcastToOrderer(TxId tx_id, int replica, int attempt);
   void OnOrdererAck(TxId tx_id, bool accepted, int replica);
   void OnOrdererAckTimeout(TxId tx_id, int attempt);
+  /// Replica endpoints serving `channel` (the shared single-channel
+  /// set unless per-channel sets are configured).
+  const std::vector<Params::OrdererEndpoint>& EndpointsFor(
+      ChannelId channel) const;
+  int& LeaderHintFor(ChannelId channel);
 
   Params p_;
   std::unordered_map<TxId, PendingTx> in_flight_;
   std::unordered_map<TxId, ResubmitMeta> resubmit_meta_;
   std::unordered_map<TxId, PendingOrder> awaiting_order_ack_;
-  /// Last endpoint that acked — new envelopes start there instead of
-  /// rediscovering the leader.
-  int leader_hint_ = 0;
+  /// Last endpoint that acked, per channel — new envelopes start there
+  /// instead of rediscovering the leader.
+  std::vector<int> leader_hints_ = std::vector<int>(1, 0);
   uint64_t round_robin_ = 0;
 };
 

@@ -29,12 +29,20 @@ ExperimentConfig ExperimentConfig::DefaultsC2() {
 }
 
 std::string ExperimentConfig::Describe() const {
-  return StrFormat(
+  std::string description = StrFormat(
       "%s | %s | %s | bs=%u | %.0f tps | %d orgs x %d peers | skew=%.1f | %s",
       FabricVariantToString(fabric.variant), workload.chaincode.c_str(),
       DatabaseTypeToString(fabric.db_type), fabric.block_size,
       arrival_rate_tps, fabric.cluster.num_orgs, fabric.cluster.peers_per_org,
       workload.zipf_skew, WorkloadMixToString(workload.mix));
+  // Only multi-channel runs mention channels: single-channel report
+  // headers must match the pre-channel output byte for byte.
+  if (fabric.num_channels > 1) {
+    description += StrFormat(" | channels=%d cskew=%.1f",
+                             fabric.num_channels,
+                             workload.channel_affinity.skew);
+  }
+  return description;
 }
 
 Result<std::shared_ptr<Chaincode>> MakeChaincodeFor(

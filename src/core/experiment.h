@@ -147,6 +147,24 @@ class ExperimentConfig::Builder {
     config_.fabric.ordering = ordering;
     return *this;
   }
+  /// Number of channels the network hosts (sharded ledgers). 1 (the
+  /// default) is the classic single-channel network.
+  Builder& Channels(int num_channels) {
+    config_.fabric.num_channels = num_channels;
+    return *this;
+  }
+  /// Zipf exponent of channel popularity (0 = uniform spread).
+  Builder& ChannelSkew(double skew) {
+    config_.workload.channel_affinity.skew = skew;
+    return *this;
+  }
+  /// Pins every client to a subset of this many channels (0 = all
+  /// channels visible to every client).
+  Builder& ChannelsPerClient(int channels_per_client) {
+    config_.workload.channel_affinity.channels_per_client =
+        channels_per_client;
+    return *this;
+  }
 
   ExperimentConfig Build() const {
     ExperimentConfig config = config_;

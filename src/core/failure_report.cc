@@ -12,8 +12,77 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
                                  const RunStats& stats,
                                  SimTime load_duration,
                                  const Tracer* tracer) {
+  return BuildFailureReport(std::vector<const BlockStore*>{&ledger}, stats,
+                            load_duration, tracer);
+}
+
+FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
+                                 const RunStats& stats,
+                                 SimTime load_duration,
+                                 const Tracer* tracer) {
   FailureReport report;
-  LedgerSummary summary = LedgerParser::Summarize(ledger);
+  double seconds = ToSeconds(load_duration);
+  // Aggregate counts sum over every channel's chain; with exactly one
+  // ledger every accumulation below reduces to the same arithmetic the
+  // single-ledger report always did, keeping it bitwise stable.
+  LedgerSummary summary;
+  Histogram latencies;
+  uint64_t committed_in_window = 0;
+  for (size_t c = 0; c < ledgers.size(); ++c) {
+    const BlockStore& ledger = *ledgers[c];
+    LedgerSummary channel_summary = LedgerParser::Summarize(ledger);
+    summary.total += channel_summary.total;
+    summary.valid += channel_summary.valid;
+    summary.endorsement_policy_failures +=
+        channel_summary.endorsement_policy_failures;
+    summary.mvcc_intra_block += channel_summary.mvcc_intra_block;
+    summary.mvcc_inter_block += channel_summary.mvcc_inter_block;
+    summary.phantom_read_conflicts += channel_summary.phantom_read_conflicts;
+    summary.reordering_aborts += channel_summary.reordering_aborts;
+
+    uint64_t channel_committed_in_window = 0;
+    for (const TxRecord& rec : LedgerParser::Parse(ledger)) {
+      latencies.Add(ToMillis(rec.TotalLatency()));
+      if (rec.committed_time <= load_duration) ++channel_committed_in_window;
+    }
+    committed_in_window += channel_committed_in_window;
+
+    // Ordering-availability proxy: the widest silence between
+    // consecutive block cuts on any one channel's chain.
+    SimTime prev_cut = kSimTimeNever;
+    for (const auto& block : ledger.blocks()) {
+      if (prev_cut != kSimTimeNever && block.cut_time > prev_cut) {
+        double gap = ToSeconds(block.cut_time - prev_cut);
+        if (gap > report.max_interblock_gap_s) {
+          report.max_interblock_gap_s = gap;
+        }
+      }
+      prev_cut = block.cut_time;
+    }
+
+    if (ledgers.size() > 1) {
+      ChannelFailureBreakdown slice;
+      slice.channel = static_cast<int>(c);
+      slice.ledger_txs = channel_summary.total;
+      slice.valid_txs = channel_summary.valid;
+      slice.endorsement_failures = channel_summary.endorsement_policy_failures;
+      slice.mvcc_intra = channel_summary.mvcc_intra_block;
+      slice.mvcc_inter = channel_summary.mvcc_inter_block;
+      slice.phantom = channel_summary.phantom_read_conflicts;
+      if (channel_summary.total > 0) {
+        double n = static_cast<double>(channel_summary.total);
+        slice.total_failure_pct =
+            100.0 * static_cast<double>(channel_summary.failed()) / n;
+        slice.mvcc_pct =
+            100.0 * static_cast<double>(channel_summary.mvcc_total()) / n;
+      }
+      if (seconds > 0) {
+        slice.committed_throughput_tps =
+            static_cast<double>(channel_committed_in_window) / seconds;
+      }
+      report.per_channel.push_back(slice);
+    }
+  }
   report.ledger_txs = summary.total;
   report.valid_txs = summary.valid;
   report.endorsement_failures = summary.endorsement_policy_failures;
@@ -66,31 +135,12 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
   // the count of transactions that committed within the load window
   // (the throughput the paper measures; commits during the drain
   // phase of a saturated system do not count).
-  Histogram latencies;
-  uint64_t committed_in_window = 0;
-  for (const TxRecord& rec : LedgerParser::Parse(ledger)) {
-    latencies.Add(ToMillis(rec.TotalLatency()));
-    if (rec.committed_time <= load_duration) ++committed_in_window;
-  }
   if (latencies.count() > 0) {
     report.avg_latency_s = latencies.mean() / 1000.0;
     report.p50_latency_s = latencies.Percentile(0.5) / 1000.0;
     report.p99_latency_s = latencies.Percentile(0.99) / 1000.0;
   }
 
-  // Ordering-availability proxy: the widest silence between consecutive
-  // block cuts. Computed on every run so compat and replicated results
-  // are directly comparable.
-  SimTime prev_cut = kSimTimeNever;
-  for (const auto& block : ledger.blocks()) {
-    if (prev_cut != kSimTimeNever && block.cut_time > prev_cut) {
-      double gap = ToSeconds(block.cut_time - prev_cut);
-      if (gap > report.max_interblock_gap_s) report.max_interblock_gap_s = gap;
-    }
-    prev_cut = block.cut_time;
-  }
-
-  double seconds = ToSeconds(load_duration);
   if (seconds > 0) {
     report.committed_throughput_tps =
         static_cast<double>(committed_in_window) / seconds;
@@ -183,6 +233,44 @@ FailureReport FailureReport::Average(
     mean.commit_avg_s = avg_d([](const auto& r) { return r.commit_avg_s; });
     mean.commit_p99_s = avg_d([](const auto& r) { return r.commit_p99_s; });
   }
+  // Per-channel slices average element-wise when every repetition saw
+  // the same channel layout (they always do — the layout is part of
+  // the config); mismatched shapes leave the mean's slices empty.
+  bool same_channels = true;
+  for (const FailureReport& r : reports) {
+    same_channels &= r.per_channel.size() == reports[0].per_channel.size();
+  }
+  if (same_channels && !reports[0].per_channel.empty()) {
+    for (size_t c = 0; c < reports[0].per_channel.size(); ++c) {
+      ChannelFailureBreakdown slice;
+      slice.channel = reports[0].per_channel[c].channel;
+      auto cavg_u = [&](auto getter) {
+        double sum = 0;
+        for (const FailureReport& r : reports) {
+          sum += static_cast<double>(getter(r.per_channel[c]));
+        }
+        return static_cast<uint64_t>(sum / n + 0.5);
+      };
+      auto cavg_d = [&](auto getter) {
+        double sum = 0;
+        for (const FailureReport& r : reports) sum += getter(r.per_channel[c]);
+        return sum / n;
+      };
+      slice.ledger_txs = cavg_u([](const auto& s) { return s.ledger_txs; });
+      slice.valid_txs = cavg_u([](const auto& s) { return s.valid_txs; });
+      slice.endorsement_failures =
+          cavg_u([](const auto& s) { return s.endorsement_failures; });
+      slice.mvcc_intra = cavg_u([](const auto& s) { return s.mvcc_intra; });
+      slice.mvcc_inter = cavg_u([](const auto& s) { return s.mvcc_inter; });
+      slice.phantom = cavg_u([](const auto& s) { return s.phantom; });
+      slice.total_failure_pct =
+          cavg_d([](const auto& s) { return s.total_failure_pct; });
+      slice.mvcc_pct = cavg_d([](const auto& s) { return s.mvcc_pct; });
+      slice.committed_throughput_tps =
+          cavg_d([](const auto& s) { return s.committed_throughput_tps; });
+      mean.per_channel.push_back(slice);
+    }
+  }
   return mean;
 }
 
@@ -237,6 +325,15 @@ std::string FailureReport::ToString() const {
         "| commit avg %.3fs p99 %.3fs\n",
         endorse_avg_s, endorse_p99_s, ordering_avg_s, ordering_p99_s,
         commit_avg_s, commit_p99_s);
+  }
+  for (const ChannelFailureBreakdown& slice : per_channel) {
+    out += StrFormat(
+        "channel %d: ledger %llu (valid %llu) | failures %.2f%% "
+        "(mvcc %.2f%%) | %.1f tps committed\n",
+        slice.channel, static_cast<unsigned long long>(slice.ledger_txs),
+        static_cast<unsigned long long>(slice.valid_txs),
+        slice.total_failure_pct, slice.mvcc_pct,
+        slice.committed_throughput_tps);
   }
   return out;
 }

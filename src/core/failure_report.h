@@ -11,6 +11,22 @@ namespace fabricsim {
 
 class Tracer;
 
+/// Failure-class slice of one channel's ledger (multi-channel runs
+/// only): the same blockchain-parsed counts as the aggregate report,
+/// restricted to one shard.
+struct ChannelFailureBreakdown {
+  int channel = 0;
+  uint64_t ledger_txs = 0;
+  uint64_t valid_txs = 0;
+  uint64_t endorsement_failures = 0;
+  uint64_t mvcc_intra = 0;
+  uint64_t mvcc_inter = 0;
+  uint64_t phantom = 0;
+  double total_failure_pct = 0;
+  double mvcc_pct = 0;
+  double committed_throughput_tps = 0;
+};
+
 /// Aggregated metrics of one run, computed by parsing the blockchain
 /// after the experiment (paper §4.5): failure percentages per type,
 /// average total transaction latency over successful *and* failed
@@ -79,6 +95,11 @@ struct FailureReport {
   double commit_avg_s = 0;
   double commit_p99_s = 0;
 
+  /// Per-channel slices, one entry per channel, in channel order.
+  /// Empty for single-channel runs — their report (and its ToString())
+  /// is byte-identical to the pre-channel simulator's.
+  std::vector<ChannelFailureBreakdown> per_channel;
+
   /// Element-wise mean of several runs (the paper's >=3 repetitions).
   static FailureReport Average(const std::vector<FailureReport>& reports);
 
@@ -92,6 +113,16 @@ struct FailureReport {
 /// additionally carries the per-phase latency breakdown; a null tracer
 /// produces output identical to a build without the obs subsystem.
 FailureReport BuildFailureReport(const BlockStore& ledger,
+                                 const RunStats& stats,
+                                 SimTime load_duration,
+                                 const Tracer* tracer = nullptr);
+
+/// Multi-channel variant: one ledger per channel, in channel order.
+/// The aggregate metrics sum/merge across every channel's chain; with
+/// more than one ledger the report additionally carries the
+/// per-channel breakdown. Passing exactly one ledger is arithmetic-
+/// identical to the single-ledger overload.
+FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
                                  const RunStats& stats,
                                  SimTime load_duration,
                                  const Tracer* tracer = nullptr);

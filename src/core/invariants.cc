@@ -137,12 +137,27 @@ ChainIntegrityReport CheckChainRecords(const BlockStore& ledger,
 }
 
 ChainIntegrityReport CheckChainIntegrity(const FabricNetwork& network) {
-  std::vector<PeerChainView> views;
-  views.reserve(network.peers().size());
-  for (const auto& peer : network.peers()) {
-    views.push_back(PeerChainView{peer->id(), &peer->chain_records()});
+  // Every channel's chain is audited independently — a violation names
+  // its channel. canonical_height/peers_checked keep their legacy
+  // single-channel meaning (channel 0).
+  ChainIntegrityReport combined;
+  for (int c = 0; c < network.num_channels(); ++c) {
+    std::vector<PeerChainView> views;
+    views.reserve(network.peers().size());
+    for (const auto& peer : network.peers()) {
+      views.push_back(PeerChainView{peer->id(), &peer->chain_records(c)});
+    }
+    ChainIntegrityReport report =
+        CheckChainRecords(network.ledger(c), views, &network.acked_txs(c));
+    if (c == 0) {
+      combined = std::move(report);
+      continue;
+    }
+    for (std::string& violation : report.violations) {
+      combined.violations.push_back(StrFormat("channel %d: ", c) + violation);
+    }
   }
-  return CheckChainRecords(network.ledger(), views, &network.acked_txs());
+  return combined;
 }
 
 }  // namespace fabricsim

@@ -50,8 +50,10 @@ ChainIntegrityReport CheckChainRecords(
     const BlockStore& ledger, const std::vector<PeerChainView>& peers,
     const std::vector<TxId>* acked_txs);
 
-/// Convenience wrapper: audits `network`'s ledger, all of its peers,
-/// and its acked-transaction record.
+/// Convenience wrapper: audits every channel of `network` — each
+/// channel's canonical ledger, every peer's chain for that channel,
+/// and the channel's acked-transaction record. Violations on channels
+/// other than the default are prefixed with the channel id.
 ChainIntegrityReport CheckChainIntegrity(const FabricNetwork& network);
 
 }  // namespace fabricsim

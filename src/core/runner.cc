@@ -40,6 +40,7 @@ Result<RunArtifacts> RunOnceArtifacts(const ExperimentConfig& config,
                         std::shared_ptr<WorkloadGenerator>(
                             std::move(workload).value()));
   FABRICSIM_RETURN_NOT_OK(network.Init());
+  network.set_channel_affinity(config.workload.channel_affinity);
   network.StartLoad(config.arrival_rate_tps, config.duration);
   env.RunAll();
   // Chain-integrity audit, unconditional on every run (healthy or
@@ -52,7 +53,12 @@ Result<RunArtifacts> RunOnceArtifacts(const ExperimentConfig& config,
                             integrity.Summary());
   }
   RunArtifacts artifacts;
-  artifacts.report = BuildFailureReport(network.ledger(), network.stats(),
+  std::vector<const BlockStore*> ledgers;
+  ledgers.reserve(network.num_channels());
+  for (int c = 0; c < network.num_channels(); ++c) {
+    ledgers.push_back(&network.ledger(c));
+  }
+  artifacts.report = BuildFailureReport(ledgers, network.stats(),
                                         config.duration, network.tracer());
   if (network.tracer() != nullptr) {
     artifacts.trace_jsonl = network.tracer()->ExportJsonl(config.Describe());

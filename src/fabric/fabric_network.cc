@@ -18,6 +18,29 @@ FabricNetwork::FabricNetwork(FabricConfig config, Environment* env,
 
 FabricNetwork::~FabricNetwork() = default;
 
+Status FabricNetwork::InstallChaincode(ChannelId channel,
+                                       std::shared_ptr<Chaincode> chaincode) {
+  if (initialized_) {
+    return Status::FailedPrecondition("InstallChaincode must precede Init()");
+  }
+  if (chaincode == nullptr) {
+    return Status::InvalidArgument("chaincode is required");
+  }
+  if (channel < 0 || channel >= num_channels()) {
+    return Status::InvalidArgument("channel out of range");
+  }
+  // Shadows the default only when it shares the default chaincode's
+  // name (Fabric's per-channel instantiation of one chaincode);
+  // differently-named installations coexist in the registry.
+  return chaincode_registry_.Register(channel, std::move(chaincode));
+}
+
+Chaincode* FabricNetwork::chaincode_for(ChannelId channel) const {
+  Chaincode* chaincode =
+      chaincode_registry_.Get(channel, chaincode_->name());
+  return chaincode != nullptr ? chaincode : chaincode_.get();
+}
+
 Status FabricNetwork::Init() {
   if (initialized_) {
     return Status::FailedPrecondition("Init() called twice");
@@ -25,15 +48,28 @@ Status FabricNetwork::Init() {
   if (chaincode_ == nullptr || workload_ == nullptr) {
     return Status::InvalidArgument("chaincode and workload are required");
   }
+  if (config_.num_channels < 1) {
+    return Status::InvalidArgument("num_channels must be >= 1");
+  }
   const ClusterConfig& cluster = config_.cluster;
   if (cluster.num_orgs < 1 || cluster.peers_per_org < 1 ||
       cluster.num_clients < 1) {
     return Status::InvalidArgument("cluster must have orgs, peers, clients");
   }
+  const int num_channels = this->num_channels();
+
+  // Every channel inherits the constructor's chaincode unless a
+  // channel-specific installation shadows it.
+  if (chaincode_registry_.Get(kDefaultChannel, chaincode_->name()) ==
+      nullptr) {
+    FABRICSIM_RETURN_NOT_OK(
+        chaincode_registry_.Register(kDefaultChannel, chaincode_));
+  }
 
   // --- Lifecycle tracing ---------------------------------------------
   if (config_.tracing) {
     tracer_ = std::make_unique<Tracer>();
+    tracer_->set_num_channels(num_channels);
     env_->set_tracer(tracer_.get());
   }
 
@@ -59,7 +95,10 @@ Status FabricNetwork::Init() {
   // Node ids: orderer(s) first, then peers, then clients. Compat mode
   // has exactly one orderer node (id 0), keeping the legacy layout —
   // and the legacy byte-identical traffic — untouched; replicated mode
-  // gives each of the N replicas its own node id 0..N-1.
+  // gives each of the N replicas its own node id 0..N-1. Channels do
+  // not add nodes: every channel's ordering pipeline is multiplexed
+  // over the same orderer node ids, exactly as Fabric runs many
+  // channels on one ordering service.
   int num_orderer_nodes =
       config_.ordering.replicated
           ? (cluster.num_orderers < 1 ? 1 : cluster.num_orderers)
@@ -91,6 +130,13 @@ Status FabricNetwork::Init() {
           : 1.0;
   validation_cache_ =
       std::make_unique<ValidationOutcomeCache>(cluster.total_peers());
+  std::vector<Chaincode*> channel_chaincodes;
+  if (num_channels > 1) {
+    channel_chaincodes.reserve(static_cast<size_t>(num_channels));
+    for (int c = 0; c < num_channels; ++c) {
+      channel_chaincodes.push_back(chaincode_for(c));
+    }
+  }
   peers_by_org_.assign(static_cast<size_t>(cluster.num_orgs), {});
   for (int org = 0; org < cluster.num_orgs; ++org) {
     for (int i = 0; i < cluster.peers_per_org; ++i) {
@@ -102,7 +148,9 @@ Status FabricNetwork::Init() {
       params.node = node;
       params.env = env_;
       params.net = net_.get();
+      params.num_channels = num_channels;
       params.chaincode = chaincode_.get();
+      params.channel_chaincodes = channel_chaincodes;
       params.policy = *policy_;
       params.db_profile = db_profile;
       params.timing = config_.timing;
@@ -115,9 +163,9 @@ Status FabricNetwork::Init() {
       params.rng = env_->rng().Fork(2000 + static_cast<uint64_t>(peer_id));
       params.validation_cache = validation_cache_.get();
       if (peer_id == 0) {
-        params.on_commit = [this](uint64_t number,
+        params.on_commit = [this](ChannelId channel, uint64_t number,
                                   const ValidationOutcome& outcome) {
-          RecordCommit(number, outcome);
+          RecordCommit(channel, number, outcome);
         };
       }
       auto peer = std::make_unique<Peer>(std::move(params));
@@ -131,18 +179,21 @@ Status FabricNetwork::Init() {
   }
 
   // --- Bootstrap world state -----------------------------------------
-  std::vector<WriteItem> bootstrap = chaincode_->BootstrapState();
-  for (auto& peer : peers_) {
-    FABRICSIM_RETURN_NOT_OK(peer->Bootstrap(bootstrap));
+  for (int c = 0; c < num_channels; ++c) {
+    std::vector<WriteItem> bootstrap = chaincode_for(c)->BootstrapState();
+    for (auto& peer : peers_) {
+      FABRICSIM_RETURN_NOT_OK(peer->Bootstrap(c, bootstrap));
+    }
   }
 
-  // --- Ordering service -----------------------------------------------
+  // --- Ordering service (one pipeline per channel) --------------------
   // Block dissemination follows Fabric's gossip layout: the ordering
   // service delivers to one leader peer per organization; the leader
   // forwards to its org members. A chaos-delayed org therefore pays
   // the injected delay twice on state dissemination (orderer->leader,
   // leader->member) but only once on the proposal path — its members
-  // endorse on state that lags the healthy orgs.
+  // endorse on state that lags the healthy orgs. Every channel uses
+  // the same gossip endpoints; the peer routes by block->channel.
   std::vector<Orderer::Params::PeerEndpoint> delivery_endpoints;
   for (const std::vector<Peer*>& org_peers : peers_by_org_) {
     if (org_peers.empty()) continue;
@@ -162,7 +213,8 @@ Status FabricNetwork::Init() {
         }});
   }
   auto on_block_cut = [this](std::shared_ptr<Block> block) {
-    canonical_blocks_[block->number] = std::move(block);
+    ChannelRuntime& runtime = channels_[static_cast<size_t>(block->channel)];
+    runtime.canonical_blocks[block->number] = std::move(block);
   };
   auto on_early_abort = [this](const Transaction&, TxValidationCode code) {
     if (code == TxValidationCode::kAbortedNotSerializable) {
@@ -171,58 +223,73 @@ Status FabricNetwork::Init() {
       ++stats_.early_aborts_by_reordering;
     }
   };
-  if (config_.ordering.replicated) {
-    RaftGroup::Params gparams;
-    gparams.env = env_;
-    gparams.net = net_.get();
-    gparams.num_replicas = num_orderer_nodes;
-    gparams.node_base = 0;
-    gparams.cutter =
-        BlockCutter::Config{config_.block_size, config_.block_max_bytes};
-    gparams.block_timeout = config_.block_timeout;
-    gparams.timing = config_.timing;
-    gparams.ordering = config_.ordering;
-    gparams.streaming = config_.variant == FabricVariant::kStreamchain;
-    gparams.processor = processor;
-    for (int i = 0; i < num_orderer_nodes; ++i) {
-      // Per-replica RNG streams; replica 0 reuses the compat orderer
-      // stream id.
-      gparams.replica_rngs.push_back(
-          env_->rng().Fork(3000 + static_cast<uint64_t>(i)));
+  // RNG stream layout: channel 0 keeps the legacy stream ids (3000
+  // compat / 3000+i replicated), forked at the same point in Init as
+  // before channels existed, so a single-channel network draws the
+  // exact legacy sequence. Additional channels fork from a disjoint id
+  // range afterwards.
+  channels_.resize(static_cast<size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    ChannelRuntime& runtime = channels_[static_cast<size_t>(c)];
+    if (config_.ordering.replicated) {
+      RaftGroup::Params gparams;
+      gparams.env = env_;
+      gparams.net = net_.get();
+      gparams.channel = c;
+      gparams.num_replicas = num_orderer_nodes;
+      gparams.node_base = 0;
+      gparams.cutter =
+          BlockCutter::Config{config_.block_size, config_.block_max_bytes};
+      gparams.block_timeout = config_.block_timeout;
+      gparams.timing = config_.timing;
+      gparams.ordering = config_.ordering;
+      gparams.streaming = config_.variant == FabricVariant::kStreamchain;
+      gparams.processor = processor;
+      for (int i = 0; i < num_orderer_nodes; ++i) {
+        uint64_t stream =
+            c == 0 ? 3000 + static_cast<uint64_t>(i)
+                   : 30000 + static_cast<uint64_t>(c) * 64 +
+                         static_cast<uint64_t>(i);
+        gparams.replica_rngs.push_back(env_->rng().Fork(stream));
+      }
+      gparams.peers = delivery_endpoints;
+      gparams.on_block_cut = on_block_cut;
+      gparams.on_early_abort = on_early_abort;
+      gparams.elections_sink = &stats_.orderer_elections;
+      gparams.leader_changes_sink = &stats_.orderer_leader_changes;
+      runtime.raft = std::make_unique<RaftGroup>(std::move(gparams));
+    } else {
+      Orderer::Params oparams;
+      oparams.node = orderer_node;
+      oparams.channel = c;
+      oparams.env = env_;
+      oparams.net = net_.get();
+      oparams.cutter =
+          BlockCutter::Config{config_.block_size, config_.block_max_bytes};
+      oparams.block_timeout = config_.block_timeout;
+      oparams.timing = config_.timing;
+      oparams.consensus = ConsensusModel(config_.cluster.num_orderers,
+                                         config_.timing.consensus_latency);
+      oparams.rng = env_->rng().Fork(
+          c == 0 ? 3000 : 30000 + static_cast<uint64_t>(c) * 64);
+      oparams.streaming = config_.variant == FabricVariant::kStreamchain;
+      oparams.processor = processor;
+      oparams.peers = delivery_endpoints;
+      oparams.on_block_cut = on_block_cut;
+      oparams.on_early_abort = on_early_abort;
+      runtime.orderer = std::make_unique<Orderer>(std::move(oparams));
     }
-    gparams.peers = delivery_endpoints;
-    gparams.on_block_cut = on_block_cut;
-    gparams.on_early_abort = on_early_abort;
-    gparams.elections_sink = &stats_.orderer_elections;
-    gparams.leader_changes_sink = &stats_.orderer_leader_changes;
-    raft_ = std::make_unique<RaftGroup>(std::move(gparams));
-  } else {
-    Orderer::Params oparams;
-    oparams.node = orderer_node;
-    oparams.env = env_;
-    oparams.net = net_.get();
-    oparams.cutter =
-        BlockCutter::Config{config_.block_size, config_.block_max_bytes};
-    oparams.block_timeout = config_.block_timeout;
-    oparams.timing = config_.timing;
-    oparams.consensus = ConsensusModel(config_.cluster.num_orderers,
-                                       config_.timing.consensus_latency);
-    oparams.rng = env_->rng().Fork(3000);
-    oparams.streaming = config_.variant == FabricVariant::kStreamchain;
-    oparams.processor = processor;
-    oparams.peers = std::move(delivery_endpoints);
-    oparams.on_block_cut = on_block_cut;
-    oparams.on_early_abort = on_early_abort;
-    orderer_ = std::make_unique<Orderer>(std::move(oparams));
   }
+  acked_txs_by_channel_.assign(static_cast<size_t>(num_channels), {});
 
   // --- Fault plan ------------------------------------------------------
   // Catch-up source for crash recovery: every peer can replay canonical
-  // blocks it missed. Wired unconditionally — it is inert until a
-  // restart happens.
+  // blocks it missed, on every channel. Wired unconditionally — it is
+  // inert until a restart happens.
   for (auto& peer : peers_) {
-    peer->set_block_fetcher(
-        [this](uint64_t number) { return FetchCanonicalBlock(number); });
+    peer->set_block_fetcher([this](ChannelId channel, uint64_t number) {
+      return FetchCanonicalBlock(channel, number);
+    });
   }
   if (!config_.faults.empty()) {
     if (config_.faults.NeedsFaultRng()) {
@@ -234,8 +301,16 @@ Status FabricNetwork::Init() {
     FaultInjector::Actors actors;
     actors.env = env_;
     actors.net = net_.get();
-    actors.orderer = orderer_.get();
-    actors.raft = raft_.get();
+    actors.orderer = channels_[0].orderer.get();
+    actors.raft = channels_[0].raft.get();
+    for (ChannelRuntime& runtime : channels_) {
+      if (runtime.orderer != nullptr) {
+        actors.orderers.push_back(runtime.orderer.get());
+      }
+      if (runtime.raft != nullptr) {
+        actors.rafts.push_back(runtime.raft.get());
+      }
+    }
     for (auto& peer : peers_) actors.peers.push_back(peer.get());
     actors.peers_by_org = peers_by_org_;
     fault_injector_ =
@@ -248,19 +323,22 @@ Status FabricNetwork::Init() {
 }
 
 std::shared_ptr<const Block> FabricNetwork::FetchCanonicalBlock(
-    uint64_t number) const {
-  auto it = canonical_blocks_.find(number);
-  if (it != canonical_blocks_.end()) return it->second;
+    ChannelId channel, uint64_t number) const {
+  const ChannelRuntime& runtime = channels_[static_cast<size_t>(channel)];
+  auto it = runtime.canonical_blocks.find(number);
+  if (it != runtime.canonical_blocks.end()) return it->second;
   // Already reference-committed: serve a copy from the recorded ledger.
-  const Block* block = ledger_.GetBlock(number);
+  const Block* block = runtime.ledger.GetBlock(number);
   if (block == nullptr) return nullptr;
   return std::make_shared<const Block>(*block);
 }
 
 void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
   const ClusterConfig& cluster = config_.cluster;
+  const int num_channels = this->num_channels();
   double per_client = total_rate_tps / cluster.num_clients;
-  int num_orderer_nodes = raft_ != nullptr ? raft_->size() : 1;
+  int num_orderer_nodes =
+      channels_[0].raft != nullptr ? channels_[0].raft->size() : 1;
   NodeId client_node_base =
       static_cast<NodeId>(num_orderer_nodes + static_cast<int>(peers_.size()));
   for (int i = 0; i < cluster.num_clients; ++i) {
@@ -272,7 +350,7 @@ void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
     params.workload = workload_.get();
     params.policy = policy_.get();
     params.peers_by_org = peers_by_org_;
-    params.orderer = orderer_.get();
+    params.orderer = channels_[0].orderer.get();
     params.orderer_node = 0;
     params.timing = config_.timing;
     params.rng = env_->rng().Fork(4000 + static_cast<uint64_t>(i));
@@ -282,37 +360,59 @@ void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
     params.stats = &stats_;
     params.tx_id_counter = &tx_id_counter_;
     params.retry = config_.retry;
+    if (num_channels > 1) {
+      params.affinity = ChannelAffinity(channel_affinity_, num_channels, i);
+      if (channels_[0].raft == nullptr) {
+        for (ChannelRuntime& runtime : channels_) {
+          params.channel_orderers.push_back(runtime.orderer.get());
+        }
+      }
+    }
     if (config_.retry.resubmit_on_mvcc) {
       params.resubmit_registry = &resubmit_registry_;
     }
-    if (raft_ != nullptr) {
+    if (channels_[0].raft != nullptr) {
       // Replicated ordering: the client broadcasts to replicas with
       // ack-timeout failover instead of the fire-and-forget submit.
-      for (int r = 0; r < raft_->size(); ++r) {
-        OrdererReplica* replica = raft_->replica(r);
-        Client::Params::OrdererEndpoint endpoint;
-        endpoint.node = replica->node();
-        endpoint.submit = [replica](Transaction tx,
-                                    std::function<void(TxId, bool)> ack) {
-          replica->SubmitTransaction(std::move(tx), std::move(ack));
-        };
-        params.orderer_endpoints.push_back(std::move(endpoint));
+      auto endpoints_for = [](RaftGroup* raft) {
+        std::vector<Client::Params::OrdererEndpoint> endpoints;
+        for (int r = 0; r < raft->size(); ++r) {
+          OrdererReplica* replica = raft->replica(r);
+          Client::Params::OrdererEndpoint endpoint;
+          endpoint.node = replica->node();
+          endpoint.submit = [replica](Transaction tx,
+                                      std::function<void(TxId, bool)> ack) {
+            replica->SubmitTransaction(std::move(tx), std::move(ack));
+          };
+          endpoints.push_back(std::move(endpoint));
+        }
+        return endpoints;
+      };
+      if (num_channels > 1) {
+        for (ChannelRuntime& runtime : channels_) {
+          params.channel_orderer_endpoints.push_back(
+              endpoints_for(runtime.raft.get()));
+        }
+        params.acked_txs_by_channel = &acked_txs_by_channel_;
+      } else {
+        params.orderer_endpoints = endpoints_for(channels_[0].raft.get());
+        params.acked_txs = &acked_txs_by_channel_[0];
       }
       params.orderer_ack_timeout = config_.ordering.client_ack_timeout;
       params.max_orderer_rebroadcasts = config_.ordering.max_client_rebroadcasts;
-      params.acked_txs = &acked_txs_;
     }
     clients_.push_back(std::make_unique<Client>(std::move(params)));
     clients_.back()->Start();
   }
 }
 
-void FabricNetwork::RecordCommit(uint64_t block_number,
+void FabricNetwork::RecordCommit(ChannelId channel, uint64_t block_number,
                                  const ValidationOutcome& outcome) {
-  auto it = canonical_blocks_.find(block_number);
-  if (it == canonical_blocks_.end()) return;
+  ChannelRuntime& runtime = channels_[static_cast<size_t>(channel)];
+  auto it = runtime.canonical_blocks.find(block_number);
+  if (it == runtime.canonical_blocks.end()) return;
   Block block = *it->second;  // copy: the canonical block stays shared
-  canonical_blocks_.erase(it);
+  runtime.canonical_blocks.erase(it);
   block.results = outcome.results;
   for (Transaction& tx : block.txs) {
     tx.committed_time = env_->now();
@@ -334,7 +434,7 @@ void FabricNetwork::RecordCommit(uint64_t block_number,
       client->OnCommittedResult(block.txs[i].id, block.results[i].code);
     }
   }
-  ledger_.Append(std::move(block));
+  runtime.ledger.Append(std::move(block));
 }
 
 }  // namespace fabricsim

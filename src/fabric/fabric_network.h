@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/chaincode/chaincode.h"
+#include "src/chaincode/registry.h"
+#include "src/channels/channel_types.h"
 #include "src/client/client.h"
 #include "src/common/status.h"
 #include "src/ext/fabricpp/reorderer.h"
@@ -30,6 +32,15 @@ namespace fabricsim {
 /// service, the configured variant's ordering processor, and the
 /// canonical ledger recorded from the reference peer.
 ///
+/// The network hosts config.num_channels channels. Every channel is a
+/// full E-O-V pipeline of its own — its own ordering service (one
+/// block cutter / Raft log per channel, multiplexed over the shared
+/// orderer node ids), its own world-state replica and hash chain on
+/// every peer, and its own canonical ledger — while the peers'
+/// endorsement and validation resources are shared, which is where
+/// cross-channel interference comes from. A single-channel network is
+/// byte-identical to the pre-channel simulator.
+///
 /// Usage:
 ///   Environment env(seed);
 ///   FabricNetwork network(config, &env, chaincode, workload);
@@ -47,6 +58,18 @@ class FabricNetwork {
   FabricNetwork(const FabricNetwork&) = delete;
   FabricNetwork& operator=(const FabricNetwork&) = delete;
 
+  /// Instantiates `chaincode` on one channel (Fabric's per-channel
+  /// chaincode namespace). Must be called before Init(); channels
+  /// without an installation run the constructor's chaincode.
+  Status InstallChaincode(ChannelId channel,
+                          std::shared_ptr<Chaincode> chaincode);
+
+  /// Channel-popularity / client-pinning model applied when the load
+  /// starts. Must be set before StartLoad(); ignored with one channel.
+  void set_channel_affinity(const ChannelAffinityConfig& affinity) {
+    channel_affinity_ = affinity;
+  }
+
   /// Builds and bootstraps all actors. Must be called exactly once
   /// before StartLoad().
   Status Init();
@@ -56,9 +79,18 @@ class FabricNetwork {
   /// completion afterwards to drain the pipeline.
   void StartLoad(double total_rate_tps, SimTime duration);
 
-  /// Canonical ledger (from the reference peer), including failed
-  /// transactions — parse it for metrics, as the paper does.
-  const BlockStore& ledger() const { return ledger_; }
+  int num_channels() const {
+    return config_.num_channels < 1 ? 1 : config_.num_channels;
+  }
+
+  /// Canonical ledger of the default channel (from the reference
+  /// peer), including failed transactions — parse it for metrics, as
+  /// the paper does.
+  const BlockStore& ledger() const { return channels_[0].ledger; }
+  /// Canonical ledger of one channel.
+  const BlockStore& ledger(ChannelId channel) const {
+    return channels_[static_cast<size_t>(channel)].ledger;
+  }
 
   const RunStats& stats() const { return stats_; }
   const FabricConfig& config() const { return config_; }
@@ -71,17 +103,30 @@ class FabricNetwork {
 
   const EndorsementPolicy& policy() const { return *policy_; }
   const Network& net() const { return *net_; }
-  /// Legacy single-leader orderer. Only valid in compat mode
-  /// (config.ordering.replicated == false).
-  Orderer& orderer() { return *orderer_; }
-  /// Replicated ordering service; nullptr in compat mode.
-  const RaftGroup* raft() const { return raft_.get(); }
-  RaftGroup* raft() { return raft_.get(); }
+  /// Legacy single-leader orderer of the default channel. Only valid
+  /// in compat mode (config.ordering.replicated == false).
+  Orderer& orderer() { return *channels_[0].orderer; }
+  Orderer& orderer(ChannelId channel) {
+    return *channels_[static_cast<size_t>(channel)].orderer;
+  }
+  /// Replicated ordering service of the default channel; nullptr in
+  /// compat mode.
+  const RaftGroup* raft() const { return channels_[0].raft.get(); }
+  RaftGroup* raft() { return channels_[0].raft.get(); }
+  RaftGroup* raft(ChannelId channel) {
+    return channels_[static_cast<size_t>(channel)].raft.get();
+  }
   /// Transaction ids whose ordering ack reached a client (replicated
-  /// mode; empty in compat mode). Input to the invariant checker's
-  /// no-acked-tx-lost audit.
-  const std::vector<TxId>& acked_txs() const { return acked_txs_; }
+  /// mode; empty in compat mode), per channel. Input to the invariant
+  /// checker's no-acked-tx-lost audit.
+  const std::vector<TxId>& acked_txs(ChannelId channel = 0) const {
+    return acked_txs_by_channel_[static_cast<size_t>(channel)];
+  }
   const std::vector<std::unique_ptr<Peer>>& peers() const { return peers_; }
+
+  /// Chaincode serving `channel` (the channel's installation, or the
+  /// constructor's default).
+  Chaincode* chaincode_for(ChannelId channel) const;
 
   /// Variant processor stats (null when the variant is not active).
   const FabricPlusPlusProcessor* fabricpp() const { return fabricpp_.get(); }
@@ -94,16 +139,35 @@ class FabricNetwork {
   const FaultInjector* fault_injector() const { return fault_injector_.get(); }
 
  private:
-  void RecordCommit(uint64_t block_number, const ValidationOutcome& outcome);
+  /// Everything the harness keeps per channel: that channel's ordering
+  /// service (exactly one of orderer/raft is set), the cut blocks
+  /// still awaiting the reference peer's commit, and the recorded
+  /// canonical ledger.
+  struct ChannelRuntime {
+    std::unique_ptr<Orderer> orderer;  ///< compat mode
+    std::unique_ptr<RaftGroup> raft;   ///< replicated mode
+    std::map<uint64_t, std::shared_ptr<Block>> canonical_blocks;
+    BlockStore ledger;
+  };
+
+  void RecordCommit(ChannelId channel, uint64_t block_number,
+                    const ValidationOutcome& outcome);
   /// Crash-recovery catch-up source: the canonical block with this
-  /// number, whether it is still awaiting the reference commit or
-  /// already on the recorded ledger. nullptr when not yet cut.
-  std::shared_ptr<const Block> FetchCanonicalBlock(uint64_t number) const;
+  /// number on this channel, whether it is still awaiting the
+  /// reference commit or already on the recorded ledger. nullptr when
+  /// not yet cut.
+  std::shared_ptr<const Block> FetchCanonicalBlock(ChannelId channel,
+                                                   uint64_t number) const;
 
   FabricConfig config_;
   Environment* env_;
   std::shared_ptr<Chaincode> chaincode_;
   std::shared_ptr<WorkloadGenerator> workload_;
+  /// Per-channel chaincode installations, keyed (channel, name); the
+  /// constructor's chaincode is registered on the default channel so
+  /// every channel inherits it unless overridden.
+  ChaincodeRegistry chaincode_registry_;
+  ChannelAffinityConfig channel_affinity_;
 
   std::unique_ptr<EndorsementPolicy> policy_;
   std::unique_ptr<Tracer> tracer_;
@@ -111,8 +175,7 @@ class FabricNetwork {
   std::unique_ptr<ValidationOutcomeCache> validation_cache_;
   std::unique_ptr<FabricPlusPlusProcessor> fabricpp_;
   std::unique_ptr<FabricSharpProcessor> fabricsharp_;
-  std::unique_ptr<Orderer> orderer_;
-  std::unique_ptr<RaftGroup> raft_;
+  std::vector<ChannelRuntime> channels_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::vector<Peer*>> peers_by_org_;
   std::unique_ptr<FaultInjector> fault_injector_;
@@ -122,9 +185,9 @@ class FabricNetwork {
   std::unordered_map<TxId, Client*> resubmit_registry_;
   std::vector<std::unique_ptr<Client>> clients_;
 
-  std::map<uint64_t, std::shared_ptr<Block>> canonical_blocks_;
-  BlockStore ledger_;
-  std::vector<TxId> acked_txs_;
+  /// Sized to num_channels() in Init(); stable addresses for the
+  /// clients' ack sinks.
+  std::vector<std::vector<TxId>> acked_txs_by_channel_;
   RunStats stats_;
   TxId tx_id_counter_ = 0;
   bool initialized_ = false;

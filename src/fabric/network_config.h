@@ -122,6 +122,12 @@ struct TimingConfig {
   /// contention), so replicas transiently diverge — the root cause of
   /// endorsement policy failures. 0 disables the jitter.
   double peer_service_jitter = 0.12;
+  /// Size of each peer's shared validation/commit worker pool: how
+  /// many *different channels'* blocks one peer process can validate
+  /// concurrently. Each channel's own blocks always commit strictly
+  /// in order, so with a single channel this knob is inert and the
+  /// pipeline degenerates to the classic serial validate queue.
+  int peer_commit_workers = 2;
 };
 
 /// Everything needed to instantiate one Fabric network.
@@ -129,6 +135,13 @@ struct FabricConfig {
   FabricVariant variant = FabricVariant::kFabric14;
   ClusterConfig cluster = ClusterConfig::C1();
   DatabaseType db_type = DatabaseType::kCouchDb;
+
+  /// Number of channels (independent ledger shards) the network hosts.
+  /// Every peer serves every channel with its own per-channel state
+  /// replica and chain; the ordering service runs one block cutter
+  /// (or one Raft group in replicated mode) per channel on the same
+  /// orderer nodes. 1 reproduces the pre-channel pipeline exactly.
+  int num_channels = 1;
 
   /// Endorsement policy text (PolicyParser grammar). When empty, the
   /// P0 preset (all orgs) is built for cluster.num_orgs.

@@ -74,6 +74,23 @@ Status FaultInjector::Install() {
   }
   installed_ = true;
 
+  // Normalize the two ways of handing over the ordering service: the
+  // legacy singleton fields and the per-channel vectors each imply the
+  // other, so rule validation can use the singletons and rule firing
+  // can loop over the vectors.
+  if (actors_.orderers.empty() && actors_.orderer != nullptr) {
+    actors_.orderers.push_back(actors_.orderer);
+  }
+  if (actors_.rafts.empty() && actors_.raft != nullptr) {
+    actors_.rafts.push_back(actors_.raft);
+  }
+  if (actors_.orderer == nullptr && !actors_.orderers.empty()) {
+    actors_.orderer = actors_.orderers.front();
+  }
+  if (actors_.raft == nullptr && !actors_.rafts.empty()) {
+    actors_.raft = actors_.rafts.front();
+  }
+
   for (size_t i = 0; i < plan_.delay_windows.size(); ++i) {
     const DelayWindow& window = plan_.delay_windows[i];
     std::string ref = RuleRef("delay_window", i, window.from, window.to);
@@ -157,13 +174,19 @@ Status FaultInjector::Install() {
       actors_.env->ScheduleAt(pause.at, [this, requested, target]() {
         int replica = ResolveOrdererReplica(requested);
         *target = replica;
-        actors_.raft->replica(replica)->Pause();
+        // The replica is one orderer *process* hosting every channel's
+        // log: pausing it pauses that replica in every group.
+        for (RaftGroup* raft : actors_.rafts) {
+          raft->replica(replica)->Pause();
+        }
         Fire(FaultEventRecord::Kind::kOrdererPause, replica);
       });
       if (pause.resume_at != kSimTimeNever) {
         actors_.env->ScheduleAt(pause.resume_at, [this, target]() {
           if (*target < 0) return;
-          actors_.raft->replica(*target)->Resume();
+          for (RaftGroup* raft : actors_.rafts) {
+            raft->replica(*target)->Resume();
+          }
           Fire(FaultEventRecord::Kind::kOrdererResume, *target);
         });
       }
@@ -177,12 +200,12 @@ Status FaultInjector::Install() {
       return Status::FailedPrecondition(ref + ": scheduled without an orderer");
     }
     actors_.env->ScheduleAt(pause.at, [this]() {
-      actors_.orderer->Pause();
+      for (Orderer* orderer : actors_.orderers) orderer->Pause();
       Fire(FaultEventRecord::Kind::kOrdererPause, -1);
     });
     if (pause.resume_at != kSimTimeNever) {
       actors_.env->ScheduleAt(pause.resume_at, [this]() {
-        actors_.orderer->Resume();
+        for (Orderer* orderer : actors_.orderers) orderer->Resume();
         Fire(FaultEventRecord::Kind::kOrdererResume, -1);
       });
     }
@@ -225,13 +248,19 @@ Status FaultInjector::Install() {
     actors_.env->ScheduleAt(crash.at, [this, requested, target]() {
       int replica = ResolveOrdererReplica(requested);
       *target = replica;
-      actors_.raft->replica(replica)->Crash();
+      // One crashed orderer process takes that replica down in every
+      // channel's group.
+      for (RaftGroup* raft : actors_.rafts) {
+        raft->replica(replica)->Crash();
+      }
       Fire(FaultEventRecord::Kind::kOrdererCrash, replica);
     });
     if (crash.restart_at != kSimTimeNever) {
       actors_.env->ScheduleAt(crash.restart_at, [this, target]() {
         if (*target < 0) return;
-        actors_.raft->replica(*target)->Restart();
+        for (RaftGroup* raft : actors_.rafts) {
+          raft->replica(*target)->Restart();
+        }
         Fire(FaultEventRecord::Kind::kOrdererRestart, *target);
       });
     }

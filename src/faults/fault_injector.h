@@ -51,6 +51,13 @@ class FaultInjector {
     /// Replicated ordering service; nullptr in compat mode. Orderer
     /// crash faults and replica-targeted pauses require it.
     RaftGroup* raft = nullptr;
+    /// Multi-channel networks: every channel's ordering service
+    /// (index = channel; exactly one of the two vectors is populated,
+    /// matching the mode). An ordering fault hits the shared orderer
+    /// *process*, so it fires against every channel's service at once.
+    /// When empty, the singleton fields above are used.
+    std::vector<Orderer*> orderers;
+    std::vector<RaftGroup*> rafts;
   };
 
   FaultInjector(FaultPlan plan, Actors actors);

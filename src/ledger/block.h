@@ -48,6 +48,12 @@ struct TxValidationResult {
 /// block, exactly as in Fabric: the ledger is the full history.
 struct Block {
   uint64_t number = 0;
+  /// Channel whose block cutter emitted this block. Block numbers are
+  /// dense *per channel* (each channel is its own chain), so (channel,
+  /// number) is the globally unique block identity. Deliberately not
+  /// part of BlockContentHash: chains are audited per channel, and the
+  /// single-channel hash stream must stay byte-identical.
+  ChannelId channel = 0;
   SimTime cut_time = 0;
   BlockCutReason cut_reason = BlockCutReason::kMaxCount;
   std::vector<Transaction> txs;

@@ -14,6 +14,11 @@ using TxId = uint64_t;
 using PeerId = int32_t;
 using OrgId = int32_t;
 
+/// Identifies one channel (an independent ledger shard multiplexed
+/// over the shared peers and ordering service). Channel 0 is the
+/// default channel every single-channel configuration runs on.
+using ChannelId = int32_t;
+
 /// Final status a transaction carries on the ledger. Mirrors Fabric's
 /// validation codes, restricted to the ones the study analyses, plus
 /// the early-abort codes introduced by the Fabric++/FabricSharp forks.
@@ -62,6 +67,10 @@ struct Endorsement {
 /// A transaction envelope as submitted to the ordering service.
 struct Transaction {
   TxId id = 0;
+  /// Channel the transaction is submitted on; its rw-set is resolved
+  /// against that channel's world state and it lands on that channel's
+  /// chain. 0 on single-channel deployments.
+  ChannelId channel = 0;
   std::string chaincode;
   std::string function;
   std::vector<std::string> args;

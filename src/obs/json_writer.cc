@@ -1,6 +1,8 @@
 #include "src/obs/json_writer.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace fabricsim {
@@ -42,13 +44,31 @@ std::string JsonEscape(const std::string& s) {
 VersionedJsonWriter::VersionedJsonWriter(std::string kind, Format format)
     : kind_(std::move(kind)), format_(format) {}
 
+void VersionedJsonWriter::set_schema_version(int version) {
+  if (version < kObsSchemaVersion) version = kObsSchemaVersion;
+  schema_version_ = version;
+}
+
 void VersionedJsonWriter::AddRow(std::string row_json) {
   rows_.push_back(std::move(row_json));
 }
 
+void VersionedJsonWriter::AddChannelRow(int channel, std::string row_json) {
+  channel_rows_[channel].push_back(std::move(row_json));
+  if (schema_version_ < kObsSchemaVersionChannels) {
+    schema_version_ = kObsSchemaVersionChannels;
+  }
+}
+
+size_t VersionedJsonWriter::channel_row_count() const {
+  size_t count = 0;
+  for (const auto& [channel, rows] : channel_rows_) count += rows.size();
+  return count;
+}
+
 std::string VersionedJsonWriter::Header() const {
   std::string header = "\"schema_version\": " +
-                       std::to_string(kObsSchemaVersion) + ", \"kind\": \"" +
+                       std::to_string(schema_version_) + ", \"kind\": \"" +
                        JsonEscape(kind_) + "\", \"config\": \"" +
                        JsonEscape(config_echo_) + "\"";
   return header;
@@ -62,6 +82,12 @@ std::string VersionedJsonWriter::Render() const {
       out += row;
       out += '\n';
     }
+    for (const auto& [channel, rows] : channel_rows_) {
+      for (const std::string& row : rows) {
+        out += row;
+        out += '\n';
+      }
+    }
     return out;
   }
   out += "{\n  " + Header() + ",\n  \"rows\": [\n";
@@ -70,8 +96,42 @@ std::string VersionedJsonWriter::Render() const {
     if (i + 1 < rows_.size()) out += ',';
     out += '\n';
   }
-  out += "  ]\n}\n";
+  out += "  ]";
+  if (!channel_rows_.empty()) {
+    out += ",\n  \"channels\": [\n";
+    size_t rendered = 0;
+    for (const auto& [channel, rows] : channel_rows_) {
+      out += "    {\"channel\": " + std::to_string(channel) +
+             ", \"rows\": [\n";
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out += "      " + rows[i];
+        if (i + 1 < rows.size()) out += ',';
+        out += '\n';
+      }
+      out += "    ]}";
+      if (++rendered < channel_rows_.size()) out += ',';
+      out += '\n';
+    }
+    out += "  ]";
+  }
+  out += "\n}\n";
   return out;
+}
+
+int VersionedJsonWriter::ParseSchemaVersion(const std::string& artifact) {
+  static const char kField[] = "\"schema_version\":";
+  size_t pos = artifact.find(kField);
+  if (pos == std::string::npos) return -1;
+  pos += sizeof(kField) - 1;
+  while (pos < artifact.size() &&
+         std::isspace(static_cast<unsigned char>(artifact[pos]))) {
+    ++pos;
+  }
+  if (pos >= artifact.size() ||
+      !std::isdigit(static_cast<unsigned char>(artifact[pos]))) {
+    return -1;
+  }
+  return std::atoi(artifact.c_str() + pos);
 }
 
 bool VersionedJsonWriter::WriteFile(const std::string& path) const {

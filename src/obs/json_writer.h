@@ -2,15 +2,23 @@
 #define FABRICSIM_OBS_JSON_WRITER_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace fabricsim {
 
-/// Schema version stamped into every machine-readable artifact the
+/// Base schema version stamped into machine-readable artifacts the
 /// simulator emits (bench JSON and trace JSONL). Bump on any change to
 /// the row layout so downstream tooling can dispatch on it.
 inline constexpr int kObsSchemaVersion = 1;
+
+/// Schema version for artifacts carrying per-channel result arrays
+/// (multi-channel runs). Version-1 consumers keyed on the top-level
+/// fields keep working: the header layout and the "rows" array are
+/// unchanged, version 2 only *adds* the optional "channels" section
+/// (documents) / channel-tagged rows (JSONL).
+inline constexpr int kObsSchemaVersionChannels = 2;
 
 /// Escapes a string for inclusion inside a JSON string literal
 /// (quotes, backslashes, control characters).
@@ -26,6 +34,12 @@ std::string JsonEscape(const std::string& s);
 ///    used for transaction-trace exports.
 /// Sharing the writer keeps every artifact self-describing: the same
 /// schema_version + kind + config echo appears in each.
+///
+/// Version 2 documents additionally carry per-channel result arrays:
+///   {"schema_version": 2, ..., "rows": [...],
+///    "channels": [ {"channel": 0, "rows": [...]}, ... ]}
+/// Adding any per-channel row bumps the stamped version to 2
+/// automatically; plain writers keep emitting version 1 byte-for-byte.
 class VersionedJsonWriter {
  public:
   enum class Format { kDocument, kJsonl };
@@ -36,10 +50,24 @@ class VersionedJsonWriter {
   /// ExperimentConfig::Describe()), emitted in the header.
   void set_config_echo(std::string echo) { config_echo_ = std::move(echo); }
 
+  /// Overrides the stamped schema version (>= kObsSchemaVersion).
+  /// Normally implicit: version 1 unless per-channel rows are added.
+  void set_schema_version(int version);
+
+  int schema_version() const { return schema_version_; }
+
   /// Appends one complete JSON object (no trailing newline).
   void AddRow(std::string row_json);
 
+  /// Appends one complete JSON object to `channel`'s result array.
+  /// Implies schema version >= 2. In kDocument format channel rows
+  /// render grouped under "channels"; in kJsonl they follow the
+  /// regular rows, one per line, in (channel, insertion) order.
+  void AddChannelRow(int channel, std::string row_json);
+
   size_t row_count() const { return rows_.size(); }
+
+  size_t channel_row_count() const;
 
   /// Renders the full artifact into a string.
   std::string Render() const;
@@ -48,13 +76,22 @@ class VersionedJsonWriter {
   /// stderr) when the file cannot be written.
   bool WriteFile(const std::string& path) const;
 
+  /// Extracts the "schema_version" stamp from a rendered artifact
+  /// (document or JSONL); -1 when the artifact carries none. Lets
+  /// tooling dispatch between version-1 and version-2 shapes without a
+  /// full JSON parser.
+  static int ParseSchemaVersion(const std::string& artifact);
+
  private:
   std::string Header() const;
 
   std::string kind_;
   Format format_;
   std::string config_echo_;
+  int schema_version_ = kObsSchemaVersion;
   std::vector<std::string> rows_;
+  /// channel -> rows, ordered by channel for deterministic rendering.
+  std::map<int, std::vector<std::string>> channel_rows_;
 };
 
 }  // namespace fabricsim

@@ -43,6 +43,9 @@ std::string TxTrace::ToJson() const {
       static_cast<unsigned long long>(id), JsonEscape(function).c_str(),
       read_only ? "true" : "false", TraceTerminalToString(terminal),
       TxValidationCodeToString(final_code));
+  if (channel != 0) {
+    out += StrFormat(", \"channel\": %d", channel);
+  }
   if (block_number != 0) {
     out += StrFormat(", \"block\": %llu, \"index\": %u",
                      static_cast<unsigned long long>(block_number), tx_index);

@@ -83,6 +83,10 @@ struct FailureAttribution {
 /// simulated time; 0 means "never reached that phase".
 struct TxTrace {
   TxId id = 0;
+  /// Channel the transaction was submitted on. Serialized only when
+  /// nonzero, so single-channel exports keep the version-1 row layout
+  /// byte-for-byte.
+  ChannelId channel = 0;
   std::string function;
   bool read_only = false;
   TraceTerminal terminal = TraceTerminal::kInFlight;

@@ -61,8 +61,9 @@ void Tracer::RebuildAggregates() const {
   aggregates_dirty_ = false;
 }
 
-void Tracer::OnPeerCommit(PeerId peer, uint64_t block_number, SimTime now) {
-  peer_commits_[{block_number, peer}] = now;
+void Tracer::OnPeerCommit(PeerId peer, ChannelId channel,
+                          uint64_t block_number, SimTime now) {
+  peer_commits_[{channel, block_number, peer}] = now;
 }
 
 const TxTrace* Tracer::Find(TxId id) const {
@@ -104,15 +105,21 @@ std::string Tracer::ExportJsonl(const std::string& config_echo) const {
   VersionedJsonWriter writer("fabricsim.trace",
                              VersionedJsonWriter::Format::kJsonl);
   writer.set_config_echo(config_echo);
+  if (num_channels_ > 1) {
+    writer.set_schema_version(kObsSchemaVersionChannels);
+  }
   for (const TxTrace* trace : SortedTraces()) {
     writer.AddRow(trace->ToJson());
   }
   for (const auto& [key, time] : peer_commits_) {
-    writer.AddRow(StrFormat(
-        "{\"type\": \"peer_commit\", \"block\": %llu, \"peer\": %d, "
-        "\"committed\": %lld}",
-        static_cast<unsigned long long>(key.first), key.second,
-        static_cast<long long>(time)));
+    ChannelId channel = std::get<0>(key);
+    std::string row = "{\"type\": \"peer_commit\", ";
+    if (channel != 0) row += StrFormat("\"channel\": %d, ", channel);
+    row += StrFormat(
+        "\"block\": %llu, \"peer\": %d, \"committed\": %lld}",
+        static_cast<unsigned long long>(std::get<1>(key)), std::get<2>(key),
+        static_cast<long long>(time));
+    writer.AddRow(std::move(row));
   }
   for (const FaultEventRow& event : fault_events_) {
     writer.AddRow(StrFormat(
@@ -127,6 +134,59 @@ std::string Tracer::ExportJsonl(const std::string& config_echo) const {
         event.kind, event.replica,
         static_cast<unsigned long long>(event.term),
         static_cast<long long>(event.at)));
+  }
+  // Multi-channel exports close with one summary row per channel — the
+  // failure-class roll-up sliced by shard (schema version 2 only, so
+  // single-channel exports stay byte-identical to version 1).
+  if (num_channels_ > 1) {
+    struct ChannelCounts {
+      uint64_t ledger = 0, valid = 0, endorse = 0, mvcc = 0, phantom = 0,
+               early_abort = 0;
+    };
+    std::vector<ChannelCounts> per_channel(
+        static_cast<size_t>(num_channels_));
+    for (const TxTrace& trace : traces_) {
+      if (trace.id == 0) continue;
+      if (trace.channel < 0 ||
+          static_cast<size_t>(trace.channel) >= per_channel.size()) {
+        continue;
+      }
+      ChannelCounts& counts = per_channel[static_cast<size_t>(trace.channel)];
+      if (trace.terminal == TraceTerminal::kLedger) {
+        ++counts.ledger;
+        switch (trace.final_code) {
+          case TxValidationCode::kValid:
+            ++counts.valid;
+            break;
+          case TxValidationCode::kEndorsementPolicyFailure:
+            ++counts.endorse;
+            break;
+          case TxValidationCode::kMvccReadConflict:
+            ++counts.mvcc;
+            break;
+          case TxValidationCode::kPhantomReadConflict:
+            ++counts.phantom;
+            break;
+          default:
+            break;
+        }
+      } else if (trace.terminal == TraceTerminal::kEarlyAborted) {
+        ++counts.early_abort;
+      }
+    }
+    for (size_t c = 0; c < per_channel.size(); ++c) {
+      const ChannelCounts& counts = per_channel[c];
+      writer.AddRow(StrFormat(
+          "{\"type\": \"channel_summary\", \"channel\": %zu, "
+          "\"ledger_txs\": %llu, \"valid\": %llu, \"endorsement\": %llu, "
+          "\"mvcc\": %llu, \"phantom\": %llu, \"early_aborted\": %llu}",
+          c, static_cast<unsigned long long>(counts.ledger),
+          static_cast<unsigned long long>(counts.valid),
+          static_cast<unsigned long long>(counts.endorse),
+          static_cast<unsigned long long>(counts.mvcc),
+          static_cast<unsigned long long>(counts.phantom),
+          static_cast<unsigned long long>(counts.early_abort)));
+    }
   }
   return writer.Render();
 }

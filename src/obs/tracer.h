@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -37,9 +38,11 @@ class Tracer {
   // Touch() collapses to an array index they are a handful of stores,
   // and inlining keeps the enabled-tracing overhead within the <5%
   // budget enforced by bench_trace_overhead.
-  void OnClientSubmit(TxId id, const std::string& function, SimTime now) {
+  void OnClientSubmit(TxId id, const std::string& function, ChannelId channel,
+                      SimTime now) {
     TxTrace& trace = Touch(id);
     trace.function = function;
+    trace.channel = channel;
     trace.client_submit = now;
   }
   void OnEndorseRequest(TxId id, PeerId peer, OrgId org, uint32_t attempt,
@@ -114,7 +117,19 @@ class Tracer {
   void OnCommit(TxId id, uint64_t block_number, uint32_t tx_index,
                 const TxValidationResult& result, SimTime now);
   /// Block commit completion on any peer (commit-skew observability).
-  void OnPeerCommit(PeerId peer, uint64_t block_number, SimTime now);
+  /// Block numbers are dense per channel, so the channel is part of
+  /// the block identity.
+  void OnPeerCommit(PeerId peer, ChannelId channel, uint64_t block_number,
+                    SimTime now);
+
+  /// Declares how many channels the traced network hosts. Multi-
+  /// channel exports are stamped schema version 2 and carry
+  /// per-channel summary rows; 1 (the default) keeps the version-1
+  /// export byte-identical.
+  void set_num_channels(int num_channels) {
+    num_channels_ = num_channels < 1 ? 1 : num_channels;
+  }
+  int num_channels() const { return num_channels_; }
 
   // --- queries -------------------------------------------------------
   size_t size() const { return size_; }
@@ -134,8 +149,11 @@ class Tracer {
     if (aggregates_dirty_) RebuildAggregates();
     return failure_counts_;
   }
-  /// Per-peer commit time of each block, in (block, peer) order.
-  const std::map<std::pair<uint64_t, PeerId>, SimTime>& peer_commits() const {
+  /// Per-peer commit time of each block, in (channel, block, peer)
+  /// order. Single-channel runs use channel 0, preserving the legacy
+  /// (block, peer) iteration order.
+  const std::map<std::tuple<ChannelId, uint64_t, PeerId>, SimTime>&
+  peer_commits() const {
     return peer_commits_;
   }
   /// Fault transitions observed, in simulated-time order.
@@ -189,9 +207,10 @@ class Tracer {
 
   std::vector<TxTrace> traces_;
   size_t size_ = 0;  ///< number of touched (non-default) slots
-  std::map<std::pair<uint64_t, PeerId>, SimTime> peer_commits_;
+  std::map<std::tuple<ChannelId, uint64_t, PeerId>, SimTime> peer_commits_;
   std::vector<FaultEventRow> fault_events_;
   std::vector<RaftEventRow> raft_events_;
+  int num_channels_ = 1;
   /// Aggregates are caches over traces_, rebuilt on demand — keeping
   /// histogram/map updates off the per-commit hot path.
   mutable bool aggregates_dirty_ = false;

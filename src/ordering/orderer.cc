@@ -9,6 +9,7 @@ namespace fabricsim {
 
 Orderer::Orderer(Params params)
     : node_(params.node),
+      channel_(params.channel),
       env_(params.env),
       net_(params.net),
       cutter_(params.cutter),
@@ -110,6 +111,7 @@ void Orderer::CutBlock(std::vector<Transaction> txs, BlockCutReason reason) {
   // must stay dense and monotone, so the counter only advances for
   // blocks that actually ship.
   block->number = next_block_number_;
+  block->channel = channel_;
   block->cut_time = env_->now();
   block->cut_reason = reason;
   block->txs = std::move(txs);

@@ -60,6 +60,11 @@ class Orderer {
  public:
   struct Params {
     NodeId node = 0;
+    /// Channel this ordering pipeline serves: stamped on every block
+    /// it cuts. One Orderer instance exists per channel, all sharing
+    /// the same orderer node id (one ordering *service*, one cutter
+    /// per channel — exactly Fabric's layout).
+    ChannelId channel = 0;
     Environment* env = nullptr;
     Network* net = nullptr;
     BlockCutter::Config cutter;
@@ -124,6 +129,7 @@ class Orderer {
   void ArmTimeout();
 
   NodeId node_;
+  ChannelId channel_;
   Environment* env_;
   Network* net_;
   BlockCutter cutter_;

@@ -29,6 +29,7 @@ uint64_t AppendEntriesBytes(const AppendEntriesMsg& msg) {
 OrdererReplica::OrdererReplica(Params params)
     : index_(params.index),
       node_(params.node),
+      channel_(params.channel),
       env_(params.env),
       net_(params.net),
       group_(params.group),
@@ -169,6 +170,7 @@ void OrdererReplica::CutBlock(std::vector<Transaction> txs,
   // deposed leader's uncommitted entries are truncated before they can
   // deliver, so a reused number never reaches a peer twice.
   block->number = block_count_ + 1;
+  block->channel = channel_;
   block->cut_time = env_->now();
   block->cut_reason = reason;
   block->txs = std::move(txs);
@@ -599,6 +601,7 @@ RaftGroup::RaftGroup(Params params)
     OrdererReplica::Params rp;
     rp.index = i;
     rp.node = params.node_base + i;
+    rp.channel = params.channel;
     rp.env = params.env;
     rp.net = params.net;
     rp.group = this;

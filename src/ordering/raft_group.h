@@ -85,6 +85,8 @@ class OrdererReplica {
   struct Params {
     int index = 0;
     NodeId node = 0;
+    /// Channel this replica's log orders; stamped on every cut block.
+    ChannelId channel = 0;
     Environment* env = nullptr;
     Network* net = nullptr;
     RaftGroup* group = nullptr;
@@ -189,6 +191,7 @@ class OrdererReplica {
 
   int index_;
   NodeId node_;
+  ChannelId channel_;
   Environment* env_;
   Network* net_;
   RaftGroup* group_;
@@ -258,6 +261,9 @@ class RaftGroup {
   struct Params {
     Environment* env = nullptr;
     Network* net = nullptr;
+    /// Channel this group orders (one Raft group per channel; all
+    /// groups share the same orderer node ids).
+    ChannelId channel = 0;
     int num_replicas = 3;
     NodeId node_base = 0;  ///< replica i gets node id node_base + i
     BlockCutter::Config cutter;

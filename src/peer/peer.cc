@@ -13,7 +13,6 @@ Peer::Peer(Params params)
       node_(params.node),
       env_(params.env),
       net_(params.net),
-      chaincode_(params.chaincode),
       validator_(std::move(params.policy)),
       db_profile_(params.db_profile),
       timing_(params.timing),
@@ -26,23 +25,40 @@ Peer::Peer(Params params)
       rng_(std::move(params.rng)),
       validation_cache_(params.validation_cache),
       on_commit_(std::move(params.on_commit)),
-      state_(MakeMemoryStateDb()),
-      endorse_view_(state_.get()),
       endorse_queue_("endorse"),
-      validate_queue_("validate") {
-  if (variant_ == FabricVariant::kFabricSharp && snapshot_interval_ > 0) {
-    // FabricSharp parallelizes execution and validation with block
-    // snapshots: endorsers run against a separate, periodically
-    // refreshed view, which lags behind the committed state.
-    endorse_snapshot_ = MakeMemoryStateDb();
-    endorse_view_ = endorse_snapshot_.get();
+      validate_pool_("validate",
+                     std::max(params.timing.peer_commit_workers, 1)) {
+  int num_channels = std::max(params.num_channels, 1);
+  channels_.resize(static_cast<size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    ChannelLedger& ch = channels_[static_cast<size_t>(c)];
+    ch.state = MakeMemoryStateDb();
+    ch.endorse_view = ch.state.get();
+    if (variant_ == FabricVariant::kFabricSharp && snapshot_interval_ > 0) {
+      // FabricSharp parallelizes execution and validation with block
+      // snapshots: endorsers run against a separate, periodically
+      // refreshed view, which lags behind the committed state.
+      ch.endorse_snapshot = MakeMemoryStateDb();
+      ch.endorse_view = ch.endorse_snapshot.get();
+    }
+    ch.chaincode =
+        static_cast<size_t>(c) < params.channel_chaincodes.size() &&
+                params.channel_chaincodes[static_cast<size_t>(c)] != nullptr
+            ? params.channel_chaincodes[static_cast<size_t>(c)]
+            : params.chaincode;
   }
 }
 
 Status Peer::Bootstrap(const std::vector<WriteItem>& writes) {
-  FABRICSIM_RETURN_NOT_OK(ApplyBootstrap(*state_, writes));
-  if (endorse_snapshot_ != nullptr) {
-    FABRICSIM_RETURN_NOT_OK(ApplyBootstrap(*endorse_snapshot_, writes));
+  return Bootstrap(kDefaultChannel, writes);
+}
+
+Status Peer::Bootstrap(ChannelId channel,
+                       const std::vector<WriteItem>& writes) {
+  ChannelLedger& ch = Channel(channel);
+  FABRICSIM_RETURN_NOT_OK(ApplyBootstrap(*ch.state, writes));
+  if (ch.endorse_snapshot != nullptr) {
+    FABRICSIM_RETURN_NOT_OK(ApplyBootstrap(*ch.endorse_snapshot, writes));
   }
   return Status::OK();
 }
@@ -61,10 +77,11 @@ void Peer::HandleProposal(ProposalRequest request) {
       *env_,
       [this, result, executed, req]() -> SimTime {
         if (!alive_) return 0;  // crashed while queued: abandon silently
+        ChannelLedger& ch = Channel(req->channel);
         // Chaincode simulation against the endorsement view *as of
         // now* — the staleness of this view is the root of both
         // endorsement mismatches and MVCC conflicts.
-        *result = SimulateProposal(*endorse_view_, *chaincode_,
+        *result = SimulateProposal(*ch.endorse_view, *ch.chaincode,
                                    req->invocation,
                                    db_profile_.supports_rich_queries);
         *executed = true;
@@ -95,20 +112,24 @@ void Peer::HandleBlock(std::shared_ptr<const Block> block) {
     ++blocks_dropped_;
     return;
   }
-  if (block->number < next_to_enqueue_) {
+  ChannelLedger& ch = Channel(block->channel);
+  if (block->number < ch.next_to_enqueue) {
     return;  // late duplicate of a block already replayed during catch-up
   }
-  reorder_buffer_[block->number] = std::move(block);
-  TryProcessBuffered();
+  ch.reorder_buffer[block->number] = std::move(block);
+  TryProcessBuffered(ch);
 }
 
 void Peer::Crash() {
   alive_ = false;
-  // Process memory is lost, including blocks parked for reordering;
-  // catch-up refetches them from the canonical chain (every delivered
-  // block was recorded there at cut time).
-  blocks_dropped_ += reorder_buffer_.size();
-  reorder_buffer_.clear();
+  // Process memory is lost, including blocks parked for reordering —
+  // on every channel the peer serves; catch-up refetches them from
+  // the canonical chains (every delivered block was recorded there at
+  // cut time).
+  for (ChannelLedger& ch : channels_) {
+    blocks_dropped_ += ch.reorder_buffer.size();
+    ch.reorder_buffer.clear();
+  }
 }
 
 void Peer::Restart() {
@@ -119,26 +140,30 @@ void Peer::Restart() {
 
 void Peer::CatchUp() {
   if (!block_fetcher_) return;
-  // Replay every canonical block cut while we were down, oldest first,
-  // through the normal validation pipeline (the replicated validation
-  // work is real; the shared outcome cache still spares recomputation).
-  // Blocks cut after the restart arrive through regular delivery and
-  // find the chain already dense.
-  while (std::shared_ptr<const Block> block =
-             block_fetcher_(next_to_enqueue_)) {
-    ++blocks_replayed_;
-    reorder_buffer_[block->number] = std::move(block);
-    TryProcessBuffered();
+  // Replay every canonical block cut while we were down — on every
+  // channel, oldest first per channel — through the normal validation
+  // pipeline (the replicated validation work is real; the shared
+  // outcome cache still spares recomputation). Blocks cut after the
+  // restart arrive through regular delivery and find each chain
+  // already dense.
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    ChannelLedger& ch = channels_[c];
+    while (std::shared_ptr<const Block> block = block_fetcher_(
+               static_cast<ChannelId>(c), ch.next_to_enqueue)) {
+      ++blocks_replayed_;
+      ch.reorder_buffer[block->number] = std::move(block);
+      TryProcessBuffered(ch);
+    }
   }
 }
 
-void Peer::TryProcessBuffered() {
+void Peer::TryProcessBuffered(ChannelLedger& ch) {
   while (true) {
-    auto it = reorder_buffer_.find(next_to_enqueue_);
-    if (it == reorder_buffer_.end()) return;
+    auto it = ch.reorder_buffer.find(ch.next_to_enqueue);
+    if (it == ch.reorder_buffer.end()) return;
     std::shared_ptr<const Block> block = std::move(it->second);
-    reorder_buffer_.erase(it);
-    ++next_to_enqueue_;
+    ch.reorder_buffer.erase(it);
+    ++ch.next_to_enqueue;
     ProcessBlock(std::move(block));
   }
 }
@@ -182,18 +207,21 @@ SimTime Peer::ValidationServiceTime(const Block& block,
 
 void Peer::ProcessBlock(std::shared_ptr<const Block> block) {
   auto outcome = std::make_shared<std::shared_ptr<const ValidationOutcome>>();
-  validate_queue_.Submit(
-      *env_,
+  validate_pool_.Submit(
+      *env_, block->channel,
       [this, outcome, block]() -> SimTime {
+        ChannelLedger& ch = Channel(block->channel);
         // All replicas compute identical outcomes (deterministic
         // validation over identical state); share the computation.
+        // The memo key carries the channel: block numbers are only
+        // dense per channel.
         if (validation_cache_ != nullptr) {
           *outcome = validation_cache_->GetOrCompute(
-              block->number,
-              [&] { return validator_.ValidateBlock(*state_, *block); });
+              ChannelBlockKey(block->channel, block->number),
+              [&] { return validator_.ValidateBlock(*ch.state, *block); });
         } else {
           *outcome = std::make_shared<const ValidationOutcome>(
-              validator_.ValidateBlock(*state_, *block));
+              validator_.ValidateBlock(*ch.state, *block));
         }
         bool charge_fixed =
             virtual_block_group_ <= 1 ||
@@ -204,35 +232,40 @@ void Peer::ProcessBlock(std::shared_ptr<const Block> block) {
             JitterFactor());
       },
       [this, outcome, block]() {
-        CommitStateUpdates(*state_, (*outcome)->state_updates);
-        committed_height_ = block->number;
+        ChannelLedger& ch = Channel(block->channel);
+        CommitStateUpdates(*ch.state, (*outcome)->state_updates);
+        ch.committed_height = block->number;
         // Extend the committed hash chain (pure observation: no RNG
         // draws, no scheduled events — disabled-subsystem runs stay
         // bitwise identical).
-        uint64_t prev_chain = chain_records_.empty()
+        uint64_t prev_chain = ch.chain_records.empty()
                                   ? kChainHashSeed
-                                  : chain_records_.back().chain_hash;
+                                  : ch.chain_records.back().chain_hash;
         uint64_t content = BlockContentHash(*block, (*outcome)->results);
-        chain_records_.push_back(PeerChainRecord{
+        ch.chain_records.push_back(PeerChainRecord{
             block->number, content, MixChainHash(prev_chain, content)});
         if (Tracer* tracer = env_->tracer()) {
-          tracer->OnPeerCommit(id_, block->number, env_->now());
+          tracer->OnPeerCommit(id_, block->channel, block->number,
+                               env_->now());
         }
-        if (endorse_snapshot_ != nullptr) {
+        if (ch.endorse_snapshot != nullptr) {
           // Refresh the endorsement snapshot at the next snapshot
           // boundary; application order across blocks is preserved by
           // keeping the apply time monotonic.
           SimTime lag = static_cast<SimTime>(rng_.UniformRange(
               0.0, static_cast<double>(snapshot_interval_)));
           SimTime apply_at =
-              std::max(env_->now() + lag, last_snapshot_apply_);
-          last_snapshot_apply_ = apply_at;
+              std::max(env_->now() + lag, ch.last_snapshot_apply);
+          ch.last_snapshot_apply = apply_at;
           auto shared = *outcome;
-          env_->ScheduleAt(apply_at, [this, shared]() {
-            CommitStateUpdates(*endorse_snapshot_, shared->state_updates);
+          StateDatabase* snapshot = ch.endorse_snapshot.get();
+          env_->ScheduleAt(apply_at, [snapshot, shared]() {
+            CommitStateUpdates(*snapshot, shared->state_updates);
           });
         }
-        if (on_commit_) on_commit_(block->number, **outcome);
+        if (on_commit_) {
+          on_commit_(block->channel, block->number, **outcome);
+        }
       });
 }
 

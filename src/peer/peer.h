@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/chaincode/chaincode.h"
+#include "src/channels/channel_types.h"
+#include "src/channels/channel_work_pool.h"
 #include "src/common/rng.h"
 #include "src/fabric/network_config.h"
 #include "src/peer/committer.h"
@@ -24,6 +26,7 @@ namespace fabricsim {
 /// network.
 struct ProposalRequest {
   TxId tx_id = 0;
+  ChannelId channel = 0;
   Invocation invocation;
   std::function<void(const struct ProposalResponse&)> reply;
 };
@@ -38,12 +41,16 @@ struct ProposalResponse {
 };
 
 /// A peer node: endorser + validator + committer over its own
-/// world-state replica. Two serial work queues model the two
-/// independent execution resources of a real peer:
+/// world-state replicas, one replica per channel the peer serves.
+/// Two execution resources model a real peer process:
 ///  * the chaincode/endorsement path (chaincode container + endorser
-///    gRPC handlers), and
-///  * the validation/commit pipeline (VSCC, MVCC, state DB commit),
-///    which processes blocks strictly in order.
+///    gRPC handlers), shared by every channel — a serial queue; and
+///  * the validation/commit resource (VSCC, MVCC, state DB commit): a
+///    ChannelWorkPool with `timing.peer_commit_workers` workers.
+///    Each channel's blocks validate strictly in order, but different
+///    channels' blocks may occupy different workers concurrently —
+///    channel-parallel commit speedup and cross-channel queueing
+///    interference both fall out of this pool.
 class Peer {
  public:
   struct Params {
@@ -52,7 +59,14 @@ class Peer {
     NodeId node = 0;
     Environment* env = nullptr;
     Network* net = nullptr;
+    /// Channels this peer serves (ids 0..num_channels-1), each with
+    /// its own state replica, chain, and commit pipeline.
+    int num_channels = 1;
+    /// Chaincode every channel falls back to.
     Chaincode* chaincode = nullptr;
+    /// Optional per-channel chaincode overrides, indexed by channel;
+    /// a null (or missing) entry falls back to `chaincode`.
+    std::vector<Chaincode*> channel_chaincodes;
     EndorsementPolicy policy;
     DbLatencyProfile db_profile;
     TimingConfig timing;
@@ -72,28 +86,34 @@ class Peer {
     ValidationOutcomeCache* validation_cache = nullptr;
     /// Invoked when a block finishes committing on this peer (used by
     /// the reference peer to record the canonical ledger).
-    std::function<void(uint64_t block_number,
+    std::function<void(ChannelId channel, uint64_t block_number,
                        const ValidationOutcome& outcome)>
         on_commit;
   };
 
   explicit Peer(Params params);
 
-  /// Populates the world state before the run (version (0,0)).
+  /// Populates the default channel's world state before the run
+  /// (version (0,0)).
   Status Bootstrap(const std::vector<WriteItem>& writes);
+
+  /// Populates one channel's world state before the run.
+  Status Bootstrap(ChannelId channel, const std::vector<WriteItem>& writes);
 
   /// Handles an endorsement proposal (already delivered through the
   /// network). Queues chaincode execution on the endorsement queue.
   void HandleProposal(ProposalRequest request);
 
   /// Handles a block delivered by the ordering service. Blocks may
-  /// arrive out of order; the peer buffers and validates sequentially.
+  /// arrive out of order; the peer buffers and validates each
+  /// channel's chain sequentially.
   void HandleBlock(std::shared_ptr<const Block> block);
 
-  /// Source of canonical blocks by number for crash recovery, wired by
-  /// the harness. Returns nullptr when no block with that number has
-  /// been cut yet.
-  using BlockFetcher = std::function<std::shared_ptr<const Block>(uint64_t)>;
+  /// Source of canonical blocks by (channel, number) for crash
+  /// recovery, wired by the harness. Returns nullptr when no block
+  /// with that number has been cut on that channel yet.
+  using BlockFetcher =
+      std::function<std::shared_ptr<const Block>(ChannelId, uint64_t)>;
   void set_block_fetcher(BlockFetcher fetcher) {
     block_fetcher_ = std::move(fetcher);
   }
@@ -104,11 +124,13 @@ class Peer {
   /// inside the validation pipeline still drains (journal recovery
   /// replays it on restart; modelling that replay separately is below
   /// the simulator's resolution), so committed state stays consistent.
+  /// The whole process crashes: every channel the peer serves is down.
   void Crash();
 
   /// Brings a crashed peer back and catches it up: every canonical
-  /// block it missed is fetched via the block fetcher and replayed, in
-  /// order, through the normal validation pipeline.
+  /// block it missed — on every channel — is fetched via the block
+  /// fetcher and replayed, in order, through the normal validation
+  /// pipeline.
   void Restart();
 
   bool alive() const { return alive_; }
@@ -117,34 +139,68 @@ class Peer {
   OrgId org() const { return org_; }
   NodeId node() const { return node_; }
 
-  /// Committed world state (validation view).
-  const StateDatabase& state() const { return *state_; }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+
+  /// Committed world state of the default channel (validation view).
+  const StateDatabase& state() const { return *channels_[0].state; }
+  const StateDatabase& state(ChannelId channel) const {
+    return *channels_[static_cast<size_t>(channel)].state;
+  }
 
   /// World state the endorser executes against. Same object as
   /// state() except under FabricSharp's snapshot model.
-  const StateDatabase& endorse_view() const { return *endorse_view_; }
+  const StateDatabase& endorse_view() const {
+    return *channels_[0].endorse_view;
+  }
+  const StateDatabase& endorse_view(ChannelId channel) const {
+    return *channels_[static_cast<size_t>(channel)].endorse_view;
+  }
 
-  uint64_t committed_height() const { return committed_height_; }
+  uint64_t committed_height() const { return channels_[0].committed_height; }
+  uint64_t committed_height(ChannelId channel) const {
+    return channels_[static_cast<size_t>(channel)].committed_height;
+  }
 
   const WorkQueue& endorse_queue() const { return endorse_queue_; }
-  const WorkQueue& validate_queue() const { return validate_queue_; }
 
-  /// The peer's committed hash chain, one record per committed block,
-  /// audited after every run by the chain-integrity invariant checker.
+  /// The shared validation/commit resource all channels contend on.
+  const ChannelWorkPool& validate_queue() const { return validate_pool_; }
+
+  /// The default channel's committed hash chain, one record per
+  /// committed block, audited after every run by the chain-integrity
+  /// invariant checker.
   const std::vector<PeerChainRecord>& chain_records() const {
-    return chain_records_;
+    return channels_[0].chain_records;
+  }
+  const std::vector<PeerChainRecord>& chain_records(ChannelId channel) const {
+    return channels_[static_cast<size_t>(channel)].chain_records;
   }
 
   /// Proposals lost because the peer was down (never answered).
   uint64_t proposals_dropped() const { return proposals_dropped_; }
   /// Block deliveries lost because the peer was down.
   uint64_t blocks_dropped() const { return blocks_dropped_; }
-  /// Blocks replayed from the canonical chain during restarts.
+  /// Blocks replayed from the canonical chains during restarts.
   uint64_t blocks_replayed() const { return blocks_replayed_; }
 
  private:
+  /// Everything a peer keeps per channel: its replica of that
+  /// channel's world state, the endorsement view, and the commit
+  /// pipeline's in-order bookkeeping.
+  struct ChannelLedger {
+    std::unique_ptr<StateDatabase> state;
+    std::unique_ptr<StateDatabase> endorse_snapshot;  // FabricSharp only
+    StateDatabase* endorse_view = nullptr;
+    Chaincode* chaincode = nullptr;
+    uint64_t committed_height = 0;
+    uint64_t next_to_enqueue = 1;
+    std::vector<PeerChainRecord> chain_records;
+    std::map<uint64_t, std::shared_ptr<const Block>> reorder_buffer;
+    SimTime last_snapshot_apply = 0;
+  };
+
   void CatchUp();
-  void TryProcessBuffered();
+  void TryProcessBuffered(ChannelLedger& ch);
   void ProcessBlock(std::shared_ptr<const Block> block);
   SimTime ValidationServiceTime(const Block& block,
                                 const ValidationOutcome& outcome,
@@ -152,12 +208,15 @@ class Peer {
   /// Samples this peer's service-time jitter factor.
   double JitterFactor();
 
+  ChannelLedger& Channel(ChannelId channel) {
+    return channels_[static_cast<size_t>(channel)];
+  }
+
   PeerId id_;
   OrgId org_;
   NodeId node_;
   Environment* env_;
   Network* net_;
-  Chaincode* chaincode_;
   Validator validator_;
   DbLatencyProfile db_profile_;
   TimingConfig timing_;
@@ -167,20 +226,13 @@ class Peer {
   uint32_t virtual_block_group_;
   Rng rng_;
   ValidationOutcomeCache* validation_cache_;
-  std::function<void(uint64_t, const ValidationOutcome&)> on_commit_;
+  std::function<void(ChannelId, uint64_t, const ValidationOutcome&)>
+      on_commit_;
 
-  std::unique_ptr<StateDatabase> state_;
-  std::unique_ptr<StateDatabase> endorse_snapshot_;  // FabricSharp only
-  StateDatabase* endorse_view_;
+  std::vector<ChannelLedger> channels_;
 
   WorkQueue endorse_queue_;
-  WorkQueue validate_queue_;
-
-  uint64_t committed_height_ = 0;
-  uint64_t next_to_enqueue_ = 1;
-  std::vector<PeerChainRecord> chain_records_;
-  std::map<uint64_t, std::shared_ptr<const Block>> reorder_buffer_;
-  SimTime last_snapshot_apply_ = 0;
+  ChannelWorkPool validate_pool_;
 
   bool alive_ = true;
   BlockFetcher block_fetcher_;

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/channels/channel_types.h"
+
 namespace fabricsim {
 
 /// Transaction-mix presets (paper §4.4/§4.5). For genChain, an
@@ -39,6 +41,11 @@ struct WorkloadConfig {
   /// runner disables this for FabricSharp, which does not support
   /// range queries (paper §5.4.3).
   bool include_range_reads = true;
+  /// How clients spread submissions across channels (multi-channel
+  /// networks only; inert when fabric.num_channels == 1). skew is the
+  /// Zipf exponent of channel popularity, channels_per_client pins
+  /// each client to a subset of channels.
+  ChannelAffinityConfig channel_affinity;
 };
 
 }  // namespace fabricsim

@@ -116,7 +116,8 @@ TEST_F(PeerTest, OutOfOrderBlocksAreBuffered) {
 TEST_F(PeerTest, CommitCallbackFiresInOrder) {
   Peer::Params params = BaseParams();
   std::vector<uint64_t> committed;
-  params.on_commit = [&](uint64_t number, const ValidationOutcome&) {
+  params.on_commit = [&](ChannelId, uint64_t number,
+                         const ValidationOutcome&) {
     committed.push_back(number);
   };
   Peer peer(std::move(params));
