@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/statedb/state_database.h"
+
 namespace fabricsim {
 
 ConflictGraph ConflictGraph::Build(const std::vector<Transaction>& txs,
@@ -47,8 +49,7 @@ ConflictGraph ConflictGraph::Build(const std::vector<Transaction>& txs,
       if (!rq.phantom_check) continue;
       for (const auto& [key, ws] : writers) {
         ++*ops;
-        if (key < rq.start_key) continue;
-        if (!rq.end_key.empty() && key >= rq.end_key) continue;
+        if (!KeyInRange(key, rq.start_key, rq.end_key)) continue;
         for (uint32_t v : ws) {
           if (v != u) edges[u].insert(v);
         }

@@ -153,6 +153,7 @@ Status FabricNetwork::Init() {
       params.channel_chaincodes = channel_chaincodes;
       params.policy = *policy_;
       params.db_profile = db_profile;
+      params.state_backend = config_.state_backend;
       params.timing = config_.timing;
       params.variant = config_.variant;
       params.validation_cost_factor = validation_factor;

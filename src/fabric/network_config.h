@@ -8,6 +8,7 @@
 #include "src/faults/fault_plan.h"
 #include "src/sim/network.h"
 #include "src/statedb/latency_profile.h"
+#include "src/statedb/state_backend.h"
 
 namespace fabricsim {
 
@@ -135,6 +136,15 @@ struct FabricConfig {
   FabricVariant variant = FabricVariant::kFabric14;
   ClusterConfig cluster = ClusterConfig::C1();
   DatabaseType db_type = DatabaseType::kCouchDb;
+
+  /// Data structure behind every per-channel world-state replica (and
+  /// FabricSharp endorsement snapshot) of every peer. Orthogonal to
+  /// db_type: the backend is how fast the simulator executes state
+  /// ops, db_type is how much simulated time they cost. All backends
+  /// produce bit-identical simulation results; the ordered-map default
+  /// pins the paper figures, the hash/btree backends make million-key
+  /// world state cheap (see src/statedb/state_backend.h).
+  StateBackendType state_backend = StateBackendType::kOrderedMap;
 
   /// Number of channels (independent ledger shards) the network hosts.
   /// Every peer serves every channel with its own per-channel state

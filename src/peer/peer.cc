@@ -32,13 +32,13 @@ Peer::Peer(Params params)
   channels_.resize(static_cast<size_t>(num_channels));
   for (int c = 0; c < num_channels; ++c) {
     ChannelLedger& ch = channels_[static_cast<size_t>(c)];
-    ch.state = MakeMemoryStateDb();
+    ch.state = MakeStateDb(params.state_backend);
     ch.endorse_view = ch.state.get();
     if (variant_ == FabricVariant::kFabricSharp && snapshot_interval_ > 0) {
       // FabricSharp parallelizes execution and validation with block
       // snapshots: endorsers run against a separate, periodically
       // refreshed view, which lags behind the committed state.
-      ch.endorse_snapshot = MakeMemoryStateDb();
+      ch.endorse_snapshot = MakeStateDb(params.state_backend);
       ch.endorse_view = ch.endorse_snapshot.get();
     }
     ch.chaincode =

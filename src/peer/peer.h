@@ -69,6 +69,9 @@ class Peer {
     std::vector<Chaincode*> channel_chaincodes;
     EndorsementPolicy policy;
     DbLatencyProfile db_profile;
+    /// Backend for this peer's per-channel state replicas and
+    /// endorsement snapshots (bit-identical behaviour across choices).
+    StateBackendType state_backend = StateBackendType::kOrderedMap;
     TimingConfig timing;
     FabricVariant variant = FabricVariant::kFabric14;
     /// Multiplier on validation service time (<1 for Streamchain's

@@ -114,8 +114,7 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
         });
     bool overlay_dirty = false;
     for (const auto& [key, entry] : overlay) {
-      if (key < rq.start_key) continue;
-      if (!rq.end_key.empty() && key >= rq.end_key) continue;
+      if (!KeyInRange(key, rq.start_key, rq.end_key)) continue;
       if (entry.deleted) {
         overlay_dirty |= current_range.erase(key) > 0;
       } else {

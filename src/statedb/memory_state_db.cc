@@ -51,6 +51,12 @@ std::vector<StateEntry> MemoryStateDb::Scan() const {
   return out;
 }
 
+void MemoryStateDb::ForEachEntry(
+    const std::function<void(const std::string& key, const VersionedValue& vv)>&
+        fn) const {
+  for (const auto& [key, vv] : map_) fn(key, vv);
+}
+
 std::unique_ptr<StateDatabase> MakeMemoryStateDb() {
   return std::make_unique<MemoryStateDb>();
 }

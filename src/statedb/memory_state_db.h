@@ -8,8 +8,10 @@
 
 namespace fabricsim {
 
-/// Ordered in-memory implementation of StateDatabase. Each peer owns
-/// one instance; replicas diverge transiently while blocks are in
+/// Ordered std::map implementation of StateDatabase — the reference
+/// backend (StateBackendType::kOrderedMap) and the default: all paper
+/// figures are pinned to it bit for bit. Each peer owns one instance
+/// per channel; replicas diverge transiently while blocks are in
 /// flight, which is exactly the world-state inconsistency that causes
 /// endorsement policy failures.
 class MemoryStateDb : public StateDatabase {
@@ -25,6 +27,9 @@ class MemoryStateDb : public StateDatabase {
   Status ApplyWrite(const WriteItem& write, Version version) override;
   size_t Size() const override { return map_.size(); }
   std::vector<StateEntry> Scan() const override;
+  void ForEachEntry(
+      const std::function<void(const std::string& key,
+                               const VersionedValue& vv)>& fn) const override;
 
  private:
   std::map<std::string, VersionedValue> map_;

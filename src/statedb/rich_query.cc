@@ -66,10 +66,12 @@ std::string RichQuerySelector::ToString() const {
 
 std::vector<StateEntry> ExecuteRichQuery(const StateDatabase& db,
                                          const RichQuerySelector& selector) {
+  // Streamed via the visitor: only the matching documents are copied,
+  // instead of materializing the whole world state per query.
   std::vector<StateEntry> out;
-  for (StateEntry& entry : db.Scan()) {
-    if (selector.Matches(entry.vv.value)) out.push_back(std::move(entry));
-  }
+  db.ForEachEntry([&](const std::string& key, const VersionedValue& vv) {
+    if (selector.Matches(vv.value)) out.push_back(StateEntry{key, vv});
+  });
   return out;
 }
 

@@ -1,0 +1,52 @@
+#include "src/statedb/state_backend.h"
+
+#include "src/statedb/btree_state_db.h"
+#include "src/statedb/hash_state_db.h"
+#include "src/statedb/memory_state_db.h"
+
+namespace fabricsim {
+
+const char* StateBackendTypeToString(StateBackendType backend) {
+  switch (backend) {
+    case StateBackendType::kOrderedMap:
+      return "ordered_map";
+    case StateBackendType::kHashIndex:
+      return "hash";
+    case StateBackendType::kBTree:
+      return "btree";
+  }
+  return "unknown";
+}
+
+std::optional<StateBackendType> StateBackendTypeFromString(
+    const std::string& name) {
+  if (name == "ordered_map" || name == "map") {
+    return StateBackendType::kOrderedMap;
+  }
+  if (name == "hash" || name == "hash_index") {
+    return StateBackendType::kHashIndex;
+  }
+  if (name == "btree" || name == "b+tree") return StateBackendType::kBTree;
+  return std::nullopt;
+}
+
+const std::vector<StateBackendType>& AllStateBackends() {
+  static const std::vector<StateBackendType> kAll = {
+      StateBackendType::kOrderedMap, StateBackendType::kHashIndex,
+      StateBackendType::kBTree};
+  return kAll;
+}
+
+std::unique_ptr<StateDatabase> MakeStateDb(StateBackendType backend) {
+  switch (backend) {
+    case StateBackendType::kOrderedMap:
+      return MakeMemoryStateDb();
+    case StateBackendType::kHashIndex:
+      return MakeHashStateDb();
+    case StateBackendType::kBTree:
+      return MakeBTreeStateDb();
+  }
+  return MakeMemoryStateDb();
+}
+
+}  // namespace fabricsim

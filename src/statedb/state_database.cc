@@ -18,4 +18,10 @@ void StateDatabase::ForEachVersionInRange(
   }
 }
 
+void StateDatabase::ForEachEntry(
+    const std::function<void(const std::string& key, const VersionedValue& vv)>&
+        fn) const {
+  for (const StateEntry& e : Scan()) fn(e.key, e.vv);
+}
+
 }  // namespace fabricsim

@@ -33,6 +33,27 @@ struct StateEntry {
 /// operation (the LevelDB-embedded vs CouchDB-over-REST gap the paper
 /// measures in Table 4) is modelled separately by DbLatencyProfile and
 /// charged by the simulation actors that call into the store.
+///
+/// ## Semantics contract (every backend MUST agree, bit for bit)
+///
+/// Backends are interchangeable data structures behind one observable
+/// behaviour; the randomized differential test in tests/statedb_test.cc
+/// enforces this contract across all of them:
+///
+///  * **Deletes are absolute.** After ApplyWrite of a delete, the key
+///    is absent from Get, GetVersion, GetRange, ForEachVersionInRange,
+///    Size, Scan and ForEachEntry alike — a backend that keeps a
+///    tombstone internally (the open-addressing hash does) must never
+///    let it leak into any read path. Deleting a missing key is a
+///    no-op returning OK.
+///  * **Range queries are half-open [start_key, end_key)** over the
+///    lexicographic key order. An *empty* end_key means "to the end of
+///    the key space" (Fabric's GetStateByRange semantics) — it is NOT
+///    the empty interval. An empty start_key starts at the first key.
+///  * **Order is total and deterministic.** GetRange, Scan,
+///    ForEachVersionInRange and ForEachEntry enumerate strictly
+///    ascending by key, so two backends fed identical writes produce
+///    byte-identical scans, digests and phantom re-scan verdicts.
 class StateDatabase {
  public:
   virtual ~StateDatabase() = default;
@@ -66,9 +87,29 @@ class StateDatabase {
   /// Number of live keys.
   virtual size_t Size() const = 0;
 
-  /// All entries (used by rich queries, which scan documents).
+  /// All entries, ascending by key (used by tests and tooling that
+  /// want a materialized snapshot). Prefer ForEachEntry on hot paths.
   virtual std::vector<StateEntry> Scan() const = 0;
+
+  /// Streaming visitation of every entry, ascending by key, without
+  /// materializing a copy of the world state (rich queries scan every
+  /// document; a Scan()-based implementation would copy all of it per
+  /// query). Default delegates to Scan(); backends should override
+  /// with a copy-free walk.
+  virtual void ForEachEntry(
+      const std::function<void(const std::string& key,
+                               const VersionedValue& vv)>& fn) const;
 };
+
+/// True when `key` falls inside the half-open range [start_key,
+/// end_key), where an empty end_key extends the range to the end of
+/// the key space. THE definition of Fabric range semantics — every
+/// backend and the validator's phantom re-scan agree by construction
+/// by sharing it.
+inline bool KeyInRange(const std::string& key, const std::string& start_key,
+                       const std::string& end_key) {
+  return key >= start_key && (end_key.empty() || key < end_key);
+}
 
 /// Creates an in-memory ordered-map state database.
 std::unique_ptr<StateDatabase> MakeMemoryStateDb();

@@ -1,0 +1,196 @@
+#include "src/workload/ycsb.h"
+
+#include <cstdio>
+
+namespace fabricsim {
+namespace {
+
+/// splitmix64 finalizer — cheap deterministic byte source for values.
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t FoldChecksum(uint64_t checksum, uint64_t x) {
+  return (checksum ^ x) * 1099511628211ull;
+}
+
+uint64_t FoldVersion(uint64_t checksum, const std::optional<VersionedValue>& vv) {
+  if (!vv.has_value()) return FoldChecksum(checksum, 0x5ca1ab1eull);
+  checksum = FoldChecksum(checksum, vv->version.block_num);
+  checksum = FoldChecksum(checksum, vv->version.tx_num);
+  return FoldChecksum(checksum, vv->value.size());
+}
+
+}  // namespace
+
+const char* YcsbWorkloadToString(YcsbWorkload workload) {
+  switch (workload) {
+    case YcsbWorkload::kA:
+      return "A";
+    case YcsbWorkload::kB:
+      return "B";
+    case YcsbWorkload::kC:
+      return "C";
+    case YcsbWorkload::kD:
+      return "D";
+    case YcsbWorkload::kE:
+      return "E";
+    case YcsbWorkload::kF:
+      return "F";
+  }
+  return "?";
+}
+
+std::optional<YcsbWorkload> YcsbWorkloadFromString(const std::string& name) {
+  if (name.size() != 1) return std::nullopt;
+  switch (name[0]) {
+    case 'A':
+    case 'a':
+      return YcsbWorkload::kA;
+    case 'B':
+    case 'b':
+      return YcsbWorkload::kB;
+    case 'C':
+    case 'c':
+      return YcsbWorkload::kC;
+    case 'D':
+    case 'd':
+      return YcsbWorkload::kD;
+    case 'E':
+    case 'e':
+      return YcsbWorkload::kE;
+    case 'F':
+    case 'f':
+      return YcsbWorkload::kF;
+  }
+  return std::nullopt;
+}
+
+YcsbDriver::YcsbDriver(YcsbConfig config) : config_(config) {
+  if (config_.record_count == 0) config_.record_count = 1;
+  if (config_.max_scan_length < 1) config_.max_scan_length = 1;
+}
+
+std::string YcsbDriver::Key(uint64_t index) {
+  // 10 digits: "user" + 10 = 14 chars, inside the small-string buffer,
+  // so key construction never allocates on the hot paths.
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%010llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string YcsbDriver::Value(uint64_t tag) const {
+  std::string value(config_.value_size, '\0');
+  uint64_t word = 0;
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (i % 8 == 0) word = Mix(tag + 0x9e3779b97f4a7c15ull * (i / 8 + 1));
+    value[i] = static_cast<char>('a' + ((word >> ((i % 8) * 8)) & 0xFF) % 26);
+  }
+  return value;
+}
+
+Status YcsbDriver::Load(StateDatabase& db) {
+  for (uint64_t i = 0; i < config_.record_count; ++i) {
+    FABRICSIM_RETURN_NOT_OK(
+        db.ApplyWrite(WriteItem{Key(i), Value(i), /*is_delete=*/false},
+                      Version{0, static_cast<uint32_t>(i)}));
+  }
+  inserted_ = config_.record_count;
+  return Status::OK();
+}
+
+YcsbCounts YcsbDriver::Run(StateDatabase& db) {
+  Rng rng(config_.seed, /*stream=*/7777);
+  ZipfianGenerator zipf(config_.record_count, config_.zipf_theta);
+  if (inserted_ < config_.record_count) inserted_ = config_.record_count;
+  YcsbCounts counts;
+
+  auto read = [&](uint64_t index) {
+    std::optional<VersionedValue> vv = db.Get(Key(index));
+    ++counts.reads;
+    if (vv.has_value()) ++counts.read_hits;
+    counts.checksum = FoldVersion(counts.checksum, vv);
+  };
+  auto update = [&](uint64_t index, uint64_t op) {
+    db.ApplyWrite(WriteItem{Key(index), Value(op), /*is_delete=*/false},
+                  Version{1, static_cast<uint32_t>(op)});
+    ++counts.updates;
+  };
+  auto insert = [&](uint64_t op) {
+    db.ApplyWrite(WriteItem{Key(inserted_), Value(op), /*is_delete=*/false},
+                  Version{1, static_cast<uint32_t>(op)});
+    ++inserted_;
+    ++counts.inserts;
+  };
+
+  for (uint64_t op = 0; op < config_.operation_count; ++op) {
+    double p = rng.UniformDouble();
+    switch (config_.workload) {
+      case YcsbWorkload::kA:
+        if (p < 0.5) {
+          read(zipf.Next(rng));
+        } else {
+          update(zipf.Next(rng), op);
+        }
+        break;
+      case YcsbWorkload::kB:
+        if (p < 0.95) {
+          read(zipf.Next(rng));
+        } else {
+          update(zipf.Next(rng), op);
+        }
+        break;
+      case YcsbWorkload::kC:
+        read(zipf.Next(rng));
+        break;
+      case YcsbWorkload::kD:
+        if (p < 0.95) {
+          // "Read latest": rank 0 is the most recent insert.
+          uint64_t rank = zipf.NextRank(rng) % inserted_;
+          read(inserted_ - 1 - rank);
+        } else {
+          insert(op);
+        }
+        break;
+      case YcsbWorkload::kE:
+        if (p < 0.95) {
+          uint64_t start = zipf.Next(rng);
+          uint64_t len = 1 + rng.UniformU64(
+                                 static_cast<uint64_t>(config_.max_scan_length));
+          std::vector<StateEntry> hits =
+              db.GetRange(Key(start), Key(start + len));
+          ++counts.scans;
+          counts.scanned_entries += hits.size();
+          counts.checksum = FoldChecksum(counts.checksum, hits.size());
+          if (!hits.empty()) {
+            counts.checksum =
+                FoldChecksum(counts.checksum, hits.back().vv.version.block_num);
+          }
+        } else {
+          insert(op);
+        }
+        break;
+      case YcsbWorkload::kF:
+        if (p < 0.5) {
+          read(zipf.Next(rng));
+        } else {
+          uint64_t index = zipf.Next(rng);
+          std::optional<VersionedValue> vv = db.Get(Key(index));
+          counts.checksum = FoldVersion(counts.checksum, vv);
+          db.ApplyWrite(WriteItem{Key(index), Value(op), /*is_delete=*/false},
+                        Version{1, static_cast<uint32_t>(op)});
+          ++counts.read_modify_writes;
+        }
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace fabricsim

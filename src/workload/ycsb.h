@@ -1,0 +1,93 @@
+#ifndef FABRICSIM_WORKLOAD_YCSB_H_
+#define FABRICSIM_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+
+/// The six standard YCSB core workloads (Cooper et al., SoCC'10), the
+/// op mixes Halo benchmarks its hash indexes with.
+enum class YcsbWorkload {
+  kA,  ///< update heavy: 50% read / 50% update
+  kB,  ///< read mostly:  95% read / 5% update
+  kC,  ///< read only:   100% read
+  kD,  ///< read latest:  95% read (skewed to recent inserts) / 5% insert
+  kE,  ///< short ranges: 95% scan / 5% insert
+  kF,  ///< read-modify-write: 50% read / 50% RMW
+};
+
+const char* YcsbWorkloadToString(YcsbWorkload workload);
+std::optional<YcsbWorkload> YcsbWorkloadFromString(const std::string& name);
+
+/// Configuration of one YCSB load/run pair.
+struct YcsbConfig {
+  YcsbWorkload workload = YcsbWorkload::kA;
+  /// Keys inserted by the load phase.
+  uint64_t record_count = 100000;
+  /// Operations executed by the run phase.
+  uint64_t operation_count = 100000;
+  /// Payload bytes per value.
+  size_t value_size = 100;
+  /// Zipfian skew of key popularity; 0 = uniform. YCSB's default is
+  /// 0.99 (avoid exactly 1.0: the generator's theta==1 path falls back
+  /// to an O(n) inverse-CDF walk per sample).
+  double zipf_theta = 0.99;
+  /// Scan length for workload E, drawn uniformly from [1, max].
+  int max_scan_length = 100;
+  uint64_t seed = 42;
+};
+
+/// Aggregate outcome of a run phase. `checksum` folds every observed
+/// version and scan length, so (a) the compiler cannot discard the
+/// reads and (b) two backends driven identically must produce equal
+/// checksums — a cheap differential check at benchmark scale.
+struct YcsbCounts {
+  uint64_t reads = 0;
+  uint64_t read_hits = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t scans = 0;
+  uint64_t scanned_entries = 0;
+  uint64_t read_modify_writes = 0;
+  uint64_t checksum = 0;
+};
+
+/// Deterministic YCSB-style workload driver against a StateDatabase:
+/// Load() populates record_count keys, Run() executes operation_count
+/// ops of the configured mix. Same config + seed => identical op
+/// sequence against any backend.
+class YcsbDriver {
+ public:
+  explicit YcsbDriver(YcsbConfig config);
+
+  /// Load phase: inserts keys 0..record_count-1 with generated values
+  /// at versions {0, i % 2^32}-style monotone versions.
+  Status Load(StateDatabase& db);
+
+  /// Run phase: executes the op mix. Call after Load(); inserts during
+  /// D/E extend the key space beyond record_count.
+  YcsbCounts Run(StateDatabase& db);
+
+  /// Zero-padded key for index i ("user00000000001234"): lexicographic
+  /// order equals numeric order, so workload E's scans are contiguous.
+  static std::string Key(uint64_t index);
+
+  /// Deterministic value payload of config.value_size bytes.
+  std::string Value(uint64_t tag) const;
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  YcsbConfig config_;
+  uint64_t inserted_ = 0;  // total keys ever inserted (load + run)
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_YCSB_H_
