@@ -17,10 +17,11 @@ int main() {
                                     .Cluster(ClusterConfig::C2())
                                     .RateTps(100)
                                     .Build());
-  Result<std::vector<PolicyPoint>> points = SweepPolicyPresets(
-      base,
-      {PolicyPreset::kP0AllOrgs, PolicyPreset::kP1OrgZeroPlusAny,
-       PolicyPreset::kP2OneFromEachHalf, PolicyPreset::kP3Quorum});
+  const std::vector<PolicyPreset> presets = {
+      PolicyPreset::kP0AllOrgs, PolicyPreset::kP1OrgZeroPlusAny,
+      PolicyPreset::kP2OneFromEachHalf, PolicyPreset::kP3Quorum};
+  Result<std::vector<SweepPoint>> points =
+      RunSweep(base, PolicyPresetSweepSpec(presets));
   if (!points.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
                  points.status().ToString().c_str());
@@ -29,13 +30,16 @@ int main() {
 
   std::printf("%-4s %-34s %6s %10s %14s %12s\n", "id", "policy", "sigs",
               "subpols", "endorsement%", "latency(s)");
-  for (const PolicyPoint& point : points.value()) {
-    std::string text = point.policy.ToString();
+  for (size_t i = 0; i < presets.size(); ++i) {
+    const SweepPoint& point = points.value()[i];
+    EndorsementPolicy policy =
+        MakePolicy(presets[i], base.fabric.cluster.num_orgs);
+    std::string text = policy.ToString();
     if (text.size() > 33) text = text.substr(0, 30) + "...";
-    std::printf("%-4s %-34s %6d %10d %14.2f %12.3f\n",
-                PolicyPresetToString(point.preset), text.c_str(),
-                point.policy.MinSignatures(), point.policy.SubPolicyCount(),
-                point.report.endorsement_pct, point.report.avg_latency_s);
+    std::printf("%-4s %-34s %6d %10d %14.2f %12.3f\n", point.label.c_str(),
+                text.c_str(), policy.MinSignatures(),
+                policy.SubPolicyCount(), point.report.endorsement_pct,
+                point.report.avg_latency_s);
   }
   return 0;
 }

@@ -39,10 +39,13 @@ int main() {
   config.repetitions = 3;
   const std::vector<uint32_t> sizes = {10, 25, 50, 100};
 
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
+  unsigned hw = HardwareConcurrency();
   std::vector<int> job_counts = {1, 2, 4};
   if (hw > 4) job_counts.push_back(static_cast<int>(hw));
+  if (SingleCoreHost()) {
+    std::printf("note: single-core host — determinism is still checked, "
+                "but no wall-clock speedup is expected\n");
+  }
 
   JsonWriter json("parallel_scaling");
   json.Config(config);
@@ -50,12 +53,12 @@ int main() {
               "identical");
 
   double serial_ms = 0;
-  std::vector<BlockSizePoint> reference;
+  std::vector<SweepPoint> reference;
   for (int jobs : job_counts) {
     SetParallelJobs(jobs);
     double start = NowMs();
-    Result<std::vector<BlockSizePoint>> points =
-        SweepBlockSizes(config, sizes);
+    Result<std::vector<SweepPoint>> points =
+        RunSweep(config, BlockSizeSweepSpec(sizes));
     double wall = NowMs() - start;
     if (!points.ok()) {
       std::fprintf(stderr, "sweep failed: %s\n",

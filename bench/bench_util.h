@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,19 @@ inline FailureReport MustRun(const ExperimentConfig& config) {
   return result.value().mean;
 }
 
+/// Logical cores on this host, clamped to >= 1 (the standard allows
+/// hardware_concurrency() to return 0 when undeterminable).
+inline unsigned HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// True when this host cannot demonstrate parallel speedup (single
+/// logical core). Scaling benches use this to self-annotate: they
+/// still run and verify determinism, but skip wall-clock speedup
+/// expectations that only hold with real parallel hardware.
+inline bool SingleCoreHost() { return HardwareConcurrency() <= 1; }
+
 /// Wall-clock milliseconds since an arbitrary epoch, for bench timing.
 inline double NowMs() {
   return std::chrono::duration<double, std::milli>(
@@ -90,7 +104,11 @@ class JsonWriter {
  public:
   explicit JsonWriter(std::string name)
       : name_(std::move(name)),
-        writer_("bench." + name_, VersionedJsonWriter::Format::kDocument) {}
+        writer_("bench." + name_, VersionedJsonWriter::Format::kDocument) {
+    // Every bench artifact self-describes the host it ran on: scaling
+    // numbers from a 1-core CI runner carry their own caveat.
+    writer_.set_hardware_concurrency(HardwareConcurrency());
+  }
   ~JsonWriter() { Flush(); }
 
   /// Echoes the generating configuration in the document header.

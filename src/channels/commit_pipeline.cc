@@ -1,0 +1,138 @@
+#include "src/channels/commit_pipeline.h"
+
+#include <utility>
+
+#include "src/peer/committer.h"
+#include "src/sim/executor.h"
+
+namespace fabricsim {
+
+CommitPipelines::CommitPipelines(Params params)
+    : executor_(params.executor),
+      validator_(std::move(params.policy)),
+      lookahead_blocks_(params.lookahead_blocks) {
+  int num_channels = params.num_channels < 1 ? 1 : params.num_channels;
+  channels_.resize(static_cast<size_t>(num_channels));
+  for (ChannelPipeline& ch : channels_) {
+    ch.shadow = MakeStateDb(params.state_backend);
+  }
+}
+
+CommitPipelines::~CommitPipelines() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  // Drop speculation the run never joined (e.g. blocks only crashed
+  // peers would have consumed) and wait for in-flight workers: their
+  // tasks capture `this`.
+  for (ChannelPipeline& ch : channels_) ch.pending.clear();
+  drained_cv_.wait(lock, [this] {
+    for (const ChannelPipeline& ch : channels_) {
+      if (ch.running) return false;
+    }
+    return true;
+  });
+}
+
+Status CommitPipelines::Bootstrap(ChannelId channel,
+                                  const std::vector<WriteItem>& writes) {
+  return ApplyBootstrap(*channels_[static_cast<size_t>(channel)].shadow,
+                        writes);
+}
+
+void CommitPipelines::OnBlockCut(std::shared_ptr<const Block> block) {
+  size_t ch = static_cast<size_t>(block->channel);
+  uint64_t key = ChannelBlockKey(block->channel, block->number);
+  bool start_worker = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (lookahead_blocks_ > 0) {
+      drained_cv_.wait(lock, [this, ch] {
+        return channels_[ch].pending.size() <
+               static_cast<size_t>(lookahead_blocks_);
+      });
+    }
+    slots_.emplace(key, Slot{});
+    channels_[ch].pending.push_back(std::move(block));
+    if (!channels_[ch].running) {
+      channels_[ch].running = true;
+      start_worker = true;
+    }
+  }
+  if (start_worker) {
+    executor_->Async([this, ch] { RunChannel(ch); });
+  }
+}
+
+void CommitPipelines::RunChannel(size_t channel) {
+  ChannelPipeline& ch = channels_[channel];
+  for (;;) {
+    std::shared_ptr<const Block> block;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (ch.pending.empty() || shutdown_) {
+        ch.running = false;
+        drained_cv_.notify_all();
+        return;
+      }
+      block = ch.pending.front();
+      ch.pending.pop_front();
+      drained_cv_.notify_all();
+    }
+    // The shadow is owned by whichever task holds `running` — no lock
+    // needed around the validation itself, which is the whole point.
+    ValidationOutcome outcome =
+        validator_.ValidateBlockParallel(*ch.shadow, *block, *executor_);
+    CommitStateUpdates(*ch.shadow, outcome.state_updates);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = slots_.find(ChannelBlockKey(block->channel, block->number));
+      if (it != slots_.end()) {
+        it->second.outcome = std::move(outcome);
+        it->second.ready = true;
+      }
+      ++blocks_validated_;
+    }
+    ready_cv_.notify_all();
+  }
+}
+
+bool CommitPipelines::Has(ChannelId channel, uint64_t block_number) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(ChannelBlockKey(channel, block_number)) > 0;
+}
+
+ValidationOutcome CommitPipelines::Take(ChannelId channel,
+                                        uint64_t block_number) {
+  uint64_t key = ChannelBlockKey(channel, block_number);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it != slots_.end() && it->second.ready) {
+    ++speculative_hits_;
+  } else {
+    ++stall_waits_;
+    ready_cv_.wait(lock, [this, key, &it] {
+      it = slots_.find(key);
+      return it != slots_.end() && it->second.ready;
+    });
+  }
+  ValidationOutcome outcome = std::move(it->second.outcome);
+  slots_.erase(it);
+  return outcome;
+}
+
+uint64_t CommitPipelines::blocks_validated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_validated_;
+}
+
+uint64_t CommitPipelines::speculative_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return speculative_hits_;
+}
+
+uint64_t CommitPipelines::stall_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_waits_;
+}
+
+}  // namespace fabricsim

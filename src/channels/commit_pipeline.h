@@ -1,0 +1,129 @@
+#ifndef FABRICSIM_CHANNELS_COMMIT_PIPELINE_H_
+#define FABRICSIM_CHANNELS_COMMIT_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/channels/channel_types.h"
+#include "src/ledger/block.h"
+#include "src/peer/validator.h"
+#include "src/policy/endorsement_policy.h"
+#include "src/statedb/state_backend.h"
+#include "src/statedb/state_database.h"
+
+namespace fabricsim {
+
+class Executor;
+
+/// Speculative per-channel commit pipelines: the mechanism behind
+/// ExecutionMode::kThreaded.
+///
+/// Validation is a pure function of (pre-block channel state, block
+/// content), and a block's content is final the moment the ordering
+/// service cuts it — in compat mode the cutter assembles it once, in
+/// replicated mode on_block_cut only fires after quorum commit. The
+/// shared endorsement queue and the orderer therefore form a
+/// conservative-lookahead barrier: everything at or before the cut
+/// stays on the (deterministic, single-threaded) event loop, while
+/// everything after it — the per-block validation outcome — can be
+/// computed ahead of the virtual clock on worker threads.
+///
+/// Each channel gets a pipeline: a shadow replica of the channel
+/// state, bootstrapped identically to the peers', advanced by applying
+/// each block's own outcome in cut order. OnBlockCut (main thread)
+/// enqueues the block; a worker validates it against the shadow and
+/// publishes the outcome; the peer's validation event joins it with
+/// Take (main thread), blocking only when the worker has not caught up
+/// yet. Event order, timestamps, and RNG draws are untouched, so a
+/// threaded run is bitwise-identical to a serial one by construction.
+class CommitPipelines {
+ public:
+  struct Params {
+    /// Worker pool the pipelines (and the intra-block parallel
+    /// validator) run on. Must outlive the pipelines.
+    Executor* executor = nullptr;
+    int num_channels = 1;
+    EndorsementPolicy policy;
+    /// Backend for the shadow replicas — same choice as the peers',
+    /// so shadow validation costs what inline validation would.
+    StateBackendType state_backend = StateBackendType::kOrderedMap;
+    /// Max cut-but-unvalidated blocks buffered per channel before
+    /// OnBlockCut waits for the worker; <= 0 = unbounded.
+    int lookahead_blocks = 64;
+  };
+
+  explicit CommitPipelines(Params params);
+  ~CommitPipelines();
+
+  CommitPipelines(const CommitPipelines&) = delete;
+  CommitPipelines& operator=(const CommitPipelines&) = delete;
+
+  /// Seeds one channel's shadow state (must mirror the peers'
+  /// bootstrap). Main thread, before the run.
+  Status Bootstrap(ChannelId channel, const std::vector<WriteItem>& writes);
+
+  /// Feeds a freshly cut block into its channel's pipeline. Main
+  /// thread (from the on_block_cut hook). The block's content must be
+  /// final — it is read concurrently by the worker.
+  void OnBlockCut(std::shared_ptr<const Block> block);
+
+  /// Whether this block was fed to the pipeline and its outcome has
+  /// not been taken yet. Main thread; deterministic (both the feed
+  /// and the take happen on the main thread, so the answer never
+  /// depends on worker timing).
+  bool Has(ChannelId channel, uint64_t block_number) const;
+
+  /// Joins the outcome for a block previously fed via OnBlockCut,
+  /// blocking until the worker publishes it. Main thread. Each
+  /// outcome can be taken exactly once.
+  ValidationOutcome Take(ChannelId channel, uint64_t block_number);
+
+  /// Blocks validated by the worker threads so far.
+  uint64_t blocks_validated() const;
+  /// Take() calls that found the outcome already published — the
+  /// speculation hit rate (misses mean the main loop waited).
+  uint64_t speculative_hits() const;
+  uint64_t stall_waits() const;
+
+ private:
+  struct ChannelPipeline {
+    std::unique_ptr<StateDatabase> shadow;
+    /// Cut blocks the worker has not validated yet, in cut order.
+    std::deque<std::shared_ptr<const Block>> pending;
+    /// True while a worker task owns this channel (at most one at a
+    /// time; the running->idle edge under mu_ hands the shadow state
+    /// to the next task).
+    bool running = false;
+  };
+
+  struct Slot {
+    bool ready = false;
+    ValidationOutcome outcome;
+  };
+
+  void RunChannel(size_t channel);
+
+  Executor* executor_;
+  Validator validator_;
+  int lookahead_blocks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;    // Take waits for a publish
+  std::condition_variable drained_cv_;  // OnBlockCut/dtor wait on workers
+  std::vector<ChannelPipeline> channels_;
+  /// Keyed by ChannelBlockKey(channel, number).
+  std::unordered_map<uint64_t, Slot> slots_;
+  bool shutdown_ = false;
+  uint64_t blocks_validated_ = 0;
+  uint64_t speculative_hits_ = 0;
+  uint64_t stall_waits_ = 0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_CHANNELS_COMMIT_PIPELINE_H_

@@ -96,84 +96,30 @@ SweepSpec PolicyPresetSweepSpec(const std::vector<PolicyPreset>& presets) {
   return spec;
 }
 
-// --- compatibility wrappers ------------------------------------------
-
-Result<std::vector<BlockSizePoint>> SweepBlockSizes(
-    ExperimentConfig config, const std::vector<uint32_t>& sizes) {
-  Result<std::vector<SweepPoint>> sweep =
-      RunSweep(config, BlockSizeSweepSpec(sizes));
-  if (!sweep.ok()) return sweep.status();
-  std::vector<BlockSizePoint> points;
-  points.reserve(sizes.size());
-  for (size_t i = 0; i < sizes.size(); ++i) {
-    points.push_back(
-        BlockSizePoint{sizes[i], std::move(sweep.value()[i].report)});
-  }
-  return points;
-}
+// --- derived searches ------------------------------------------------
 
 Result<BlockSizeSearch> FindBestBlockSize(ExperimentConfig config,
                                           const std::vector<uint32_t>& sizes) {
-  Result<std::vector<BlockSizePoint>> points =
-      SweepBlockSizes(std::move(config), sizes);
-  if (!points.ok()) return points.status();
+  Result<std::vector<SweepPoint>> sweep =
+      RunSweep(config, BlockSizeSweepSpec(sizes));
+  if (!sweep.ok()) return sweep.status();
   BlockSizeSearch search;
-  search.points = std::move(points).value();
+  search.points = std::move(sweep).value();
   bool first = true;
-  for (const BlockSizePoint& point : search.points) {
+  for (const SweepPoint& point : search.points) {
+    uint32_t block_size = static_cast<uint32_t>(point.value);
     double pct = point.report.total_failure_pct;
     if (first || pct < search.min_failure_pct) {
       search.min_failure_pct = pct;
-      search.best_block_size = point.block_size;
+      search.best_block_size = block_size;
     }
     if (first || pct > search.max_failure_pct) {
       search.max_failure_pct = pct;
-      search.worst_block_size = point.block_size;
+      search.worst_block_size = block_size;
     }
     first = false;
   }
   return search;
-}
-
-Result<std::vector<RatePoint>> SweepArrivalRates(
-    ExperimentConfig config, const std::vector<double>& rates) {
-  Result<std::vector<SweepPoint>> sweep =
-      RunSweep(config, ArrivalRateSweepSpec(rates));
-  if (!sweep.ok()) return sweep.status();
-  std::vector<RatePoint> points;
-  points.reserve(rates.size());
-  for (size_t i = 0; i < rates.size(); ++i) {
-    points.push_back(RatePoint{rates[i], std::move(sweep.value()[i].report)});
-  }
-  return points;
-}
-
-Result<std::vector<OrgCountPoint>> SweepOrgCounts(
-    ExperimentConfig config, const std::vector<int>& org_counts) {
-  Result<std::vector<SweepPoint>> sweep =
-      RunSweep(config, OrgCountSweepSpec(org_counts));
-  if (!sweep.ok()) return sweep.status();
-  std::vector<OrgCountPoint> points;
-  points.reserve(org_counts.size());
-  for (size_t i = 0; i < org_counts.size(); ++i) {
-    points.push_back(
-        OrgCountPoint{org_counts[i], std::move(sweep.value()[i].report)});
-  }
-  return points;
-}
-
-Result<std::vector<PolicyPoint>> SweepPolicyPresets(
-    ExperimentConfig config, const std::vector<PolicyPreset>& presets) {
-  Result<std::vector<SweepPoint>> sweep =
-      RunSweep(config, PolicyPresetSweepSpec(presets));
-  if (!sweep.ok()) return sweep.status();
-  std::vector<PolicyPoint> points(presets.size());
-  for (size_t i = 0; i < presets.size(); ++i) {
-    points[i].preset = presets[i];
-    points[i].policy = MakePolicy(presets[i], config.fabric.cluster.num_orgs);
-    points[i].report = std::move(sweep.value()[i].report);
-  }
-  return points;
 }
 
 }  // namespace fabricsim

@@ -69,64 +69,26 @@ SweepSpec PolicyPresetSweepSpec(const std::vector<PolicyPreset>& presets);
 std::vector<uint32_t> DefaultBlockSizes();
 
 // ---------------------------------------------------------------------
-// Typed compatibility wrappers over RunSweep(). New code should build
-// a SweepSpec (or use the factories above) and call RunSweep().
+// Derived searches over RunSweep(). (The legacy typed wrappers —
+// SweepBlockSizes / SweepArrivalRates / SweepOrgCounts /
+// SweepPolicyPresets — are gone: build a SweepSpec, or use a factory
+// above, and call RunSweep() directly.)
 // ---------------------------------------------------------------------
-
-/// One point of a block-size sweep.
-struct BlockSizePoint {
-  uint32_t block_size = 0;
-  FailureReport report;
-};
-
-/// Runs `config` at each block size (everything else fixed).
-Result<std::vector<BlockSizePoint>> SweepBlockSizes(
-    ExperimentConfig config, const std::vector<uint32_t>& sizes);
 
 /// Outcome of a best/worst block-size search (paper §5.1.1: "best
 /// block size" minimizes the failed-transaction percentage, "worst"
-/// maximizes it).
+/// maximizes it). `points` is the underlying block-size sweep
+/// (point.value = block size).
 struct BlockSizeSearch {
   uint32_t best_block_size = 0;
   uint32_t worst_block_size = 0;
   double min_failure_pct = 0;
   double max_failure_pct = 0;
-  std::vector<BlockSizePoint> points;
+  std::vector<SweepPoint> points;
 };
 
 Result<BlockSizeSearch> FindBestBlockSize(ExperimentConfig config,
                                           const std::vector<uint32_t>& sizes);
-
-/// One point of an arrival-rate sweep.
-struct RatePoint {
-  double rate_tps = 0;
-  FailureReport report;
-};
-
-Result<std::vector<RatePoint>> SweepArrivalRates(
-    ExperimentConfig config, const std::vector<double>& rates);
-
-/// One point of an organization-count sweep (paper Fig. 12).
-struct OrgCountPoint {
-  int num_orgs = 0;
-  FailureReport report;
-};
-
-/// Runs `config` at each organization count (peers per org fixed).
-Result<std::vector<OrgCountPoint>> SweepOrgCounts(
-    ExperimentConfig config, const std::vector<int>& org_counts);
-
-/// One point of an endorsement-policy sweep (paper Fig. 13 / Table 5).
-struct PolicyPoint {
-  PolicyPreset preset = PolicyPreset::kP0AllOrgs;
-  EndorsementPolicy policy;
-  FailureReport report;
-};
-
-/// Runs `config` under each policy preset, instantiated for the
-/// config's organization count.
-Result<std::vector<PolicyPoint>> SweepPolicyPresets(
-    ExperimentConfig config, const std::vector<PolicyPreset>& presets);
 
 }  // namespace fabricsim
 

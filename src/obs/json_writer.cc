@@ -71,6 +71,10 @@ std::string VersionedJsonWriter::Header() const {
                        std::to_string(schema_version_) + ", \"kind\": \"" +
                        JsonEscape(kind_) + "\", \"config\": \"" +
                        JsonEscape(config_echo_) + "\"";
+  if (hardware_concurrency_ > 0) {
+    header += ", \"hardware_concurrency\": " +
+              std::to_string(hardware_concurrency_);
+  }
   return header;
 }
 

@@ -54,6 +54,18 @@ class VersionedJsonWriter {
   /// Normally implicit: version 1 unless per-channel rows are added.
   void set_schema_version(int version);
 
+  /// Opt-in header annotation recording the host's logical core count
+  /// (e.g. std::thread::hardware_concurrency()). When set (> 0) the
+  /// header gains a "hardware_concurrency" field so scaling artifacts
+  /// are self-describing — a 1-core CI runner's numbers carry their
+  /// own explanation. Unset writers render byte-identically to before
+  /// the field existed, keeping trace goldens stable.
+  void set_hardware_concurrency(unsigned cores) {
+    hardware_concurrency_ = cores;
+  }
+
+  unsigned hardware_concurrency() const { return hardware_concurrency_; }
+
   int schema_version() const { return schema_version_; }
 
   /// Appends one complete JSON object (no trailing newline).
@@ -89,6 +101,8 @@ class VersionedJsonWriter {
   Format format_;
   std::string config_echo_;
   int schema_version_ = kObsSchemaVersion;
+  /// 0 = omit the header field (the pre-annotation byte layout).
+  unsigned hardware_concurrency_ = 0;
   std::vector<std::string> rows_;
   /// channel -> rows, ordered by channel for deterministic rendering.
   std::map<int, std::vector<std::string>> channel_rows_;

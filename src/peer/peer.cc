@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/channels/commit_pipeline.h"
 #include "src/obs/tracer.h"
 
 namespace fabricsim {
@@ -24,6 +25,7 @@ Peer::Peer(Params params)
                                : params.virtual_block_group),
       rng_(std::move(params.rng)),
       validation_cache_(params.validation_cache),
+      commit_pipelines_(params.commit_pipelines),
       on_commit_(std::move(params.on_commit)),
       endorse_queue_("endorse"),
       validate_pool_("validate",
@@ -214,14 +216,22 @@ void Peer::ProcessBlock(std::shared_ptr<const Block> block) {
         // All replicas compute identical outcomes (deterministic
         // validation over identical state); share the computation.
         // The memo key carries the channel: block numbers are only
-        // dense per channel.
+        // dense per channel. In threaded mode the first computation
+        // joins the commit pipeline's speculative result instead of
+        // validating inline — identical by the same purity argument,
+        // since the pipeline's shadow state tracks ch.state exactly.
+        auto compute = [&]() -> ValidationOutcome {
+          if (commit_pipelines_ != nullptr &&
+              commit_pipelines_->Has(block->channel, block->number)) {
+            return commit_pipelines_->Take(block->channel, block->number);
+          }
+          return validator_.ValidateBlock(*ch.state, *block);
+        };
         if (validation_cache_ != nullptr) {
           *outcome = validation_cache_->GetOrCompute(
-              ChannelBlockKey(block->channel, block->number),
-              [&] { return validator_.ValidateBlock(*ch.state, *block); });
+              ChannelBlockKey(block->channel, block->number), compute);
         } else {
-          *outcome = std::make_shared<const ValidationOutcome>(
-              validator_.ValidateBlock(*ch.state, *block));
+          *outcome = std::make_shared<const ValidationOutcome>(compute());
         }
         bool charge_fixed =
             virtual_block_group_ <= 1 ||

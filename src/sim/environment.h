@@ -3,47 +3,74 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/executor.h"
 
 namespace fabricsim {
 
 class Tracer;  // src/obs/tracer.h
 
+/// Options for Environment::Schedule — the one scheduling entry point.
+struct ScheduleOpts {
+  /// Daemon events fire normally while real (non-daemon) work remains
+  /// anywhere in the queue, but a queue holding only daemon events
+  /// counts as drained. Perpetual self-re-arming control-plane timers
+  /// (Raft heartbeats, election timeouts) use this so RunAll()
+  /// terminates once the workload has fully drained.
+  bool daemon = false;
+  /// When set, `when` is an absolute simulated time (clamped to
+  /// now()); otherwise it is a delay from now() (clamped to 0).
+  bool absolute = false;
+};
+
 /// The discrete-event simulation environment: a virtual clock plus the
-/// event queue. Single-threaded and deterministic for a given seed.
+/// event queue. The event loop is deterministic for a given seed in
+/// every execution mode; ExecutionMode::kThreaded only adds worker
+/// threads that precompute block validation ahead of the virtual
+/// clock (see src/sim/executor.h).
 class Environment {
  public:
-  explicit Environment(uint64_t seed = 1);
+  explicit Environment(uint64_t seed = 1,
+                       ExecutionConfig execution = ExecutionConfig());
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Schedules `action` after `delay` (>= 0) simulated microseconds.
-  void Schedule(SimTime delay, std::function<void()> action);
+  /// Schedules `action` at `when`: a delay (>= 0) from now() by
+  /// default, or an absolute time with opts.absolute. This is the
+  /// single scheduling surface every actor goes through.
+  void Schedule(SimTime when, std::function<void()> action,
+                ScheduleOpts opts = ScheduleOpts());
 
-  /// Schedules a daemon event: it fires normally while real (non-
-  /// daemon) work remains anywhere in the queue, but a queue holding
-  /// only daemon events counts as drained. Perpetual self-re-arming
-  /// control-plane timers (Raft heartbeats, election timeouts) use
-  /// this so RunAll() terminates once the workload has fully drained.
-  void ScheduleDaemon(SimTime delay, std::function<void()> action);
+  /// Deprecated shim — use Schedule(delay, action, {.daemon = true}).
+  void ScheduleDaemon(SimTime delay, std::function<void()> action) {
+    Schedule(delay, std::move(action), ScheduleOpts{true, false});
+  }
 
-  /// Schedules `action` at absolute time `time` (clamped to now()).
-  void ScheduleAt(SimTime time, std::function<void()> action);
+  /// Deprecated shim — use Schedule(time, action, {.absolute = true}).
+  void ScheduleAt(SimTime time, std::function<void()> action) {
+    Schedule(time, std::move(action), ScheduleOpts{false, true});
+  }
 
   /// Runs events until the queue drains or the clock passes `until`.
   /// Events scheduled exactly at `until` still run.
-  void RunUntil(SimTime until);
+  void RunUntil(SimTime until) { executor_->RunUntil(*this, until); }
 
   /// Runs until no real (non-daemon) events remain. Equivalent to
   /// draining the queue when no daemon timers were ever scheduled.
-  void RunAll();
+  void RunAll() { executor_->RunAll(*this); }
 
   /// Number of events executed so far (for tests / diagnostics).
   uint64_t events_executed() const { return events_executed_; }
+
+  /// The run's execution engine: the event loop plus (in threaded
+  /// mode) the worker pool commit pipelines borrow.
+  Executor& executor() { return *executor_; }
 
   /// Root RNG for this run; actors should Fork() their own streams.
   Rng& rng() { return rng_; }
@@ -57,11 +84,14 @@ class Environment {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  friend class Executor;  // run loop reads queue_/now_/events_executed_
+
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_executed_ = 0;
   Rng rng_;
   Tracer* tracer_ = nullptr;
+  std::unique_ptr<Executor> executor_;
 };
 
 }  // namespace fabricsim

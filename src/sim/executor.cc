@@ -1,0 +1,131 @@
+#include "src/sim/executor.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/parallel.h"
+#include "src/sim/environment.h"
+
+namespace fabricsim {
+
+const char* ExecutionModeToString(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kSerial:
+      return "serial";
+    case ExecutionMode::kThreaded:
+      return "threaded";
+  }
+  return "unknown";
+}
+
+Executor::Executor(ExecutionConfig config) : config_(config) {
+  if (config_.mode != ExecutionMode::kThreaded) return;
+  int threads = config_.threads > 0 ? config_.threads : ParallelJobs();
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void Executor::Async(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Caller-participates fan-out over an atomic index: helpers assist
+  // when a worker is idle, but the caller claims indices too and the
+  // work completes even if no helper ever runs.
+  struct Stage {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto stage = std::make_shared<Stage>();
+  stage->n = n;
+  stage->fn = &fn;
+  auto drain = [](const std::shared_ptr<Stage>& s) {
+    for (;;) {
+      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      (*s->fn)(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+  size_t helpers = workers_.size();
+  if (helpers > n - 1) helpers = n - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    Async([stage, drain] { drain(stage); });
+  }
+  drain(stage);
+  std::unique_lock<std::mutex> lock(stage->mu);
+  stage->cv.wait(lock, [&stage] {
+    return stage->done.load(std::memory_order_acquire) == stage->n;
+  });
+}
+
+void Executor::RunAll(Environment& env) {
+  // Daemon timers interleave normally while real work remains; once
+  // only daemon events are left the simulation is quiescent (a live
+  // Raft leader would otherwise heartbeat forever).
+  while (env.queue_.has_real_events()) {
+    Event ev = env.queue_.Pop();
+    env.now_ = ev.time;
+    ++env.events_executed_;
+    ev.action();
+  }
+}
+
+void Executor::RunUntil(Environment& env, SimTime until) {
+  while (!env.queue_.empty() && env.queue_.PeekTime() <= until) {
+    Event ev = env.queue_.Pop();
+    env.now_ = ev.time;
+    ++env.events_executed_;
+    ev.action();
+  }
+  if (env.now_ < until) env.now_ = until;
+}
+
+}  // namespace fabricsim

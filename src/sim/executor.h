@@ -1,0 +1,106 @@
+#ifndef FABRICSIM_SIM_EXECUTOR_H_
+#define FABRICSIM_SIM_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace fabricsim {
+
+class Environment;
+
+/// How one simulation run uses the host machine.
+///
+///  * kSerial — the reference mode: a single pass over the event heap,
+///    exactly the loop the simulator has always run.
+///  * kThreaded — the event loop itself stays single-threaded (event
+///    order, timestamps, and RNG draws are untouched), but worker
+///    threads validate committed blocks *ahead of the virtual clock*:
+///    block content is final when the ordering service cuts it, so
+///    per-channel pipelines can race ahead speculatively and the main
+///    loop just joins the precomputed outcome when the simulated
+///    validation event fires. Bitwise-identical results by
+///    construction.
+enum class ExecutionMode { kSerial, kThreaded };
+
+const char* ExecutionModeToString(ExecutionMode mode);
+
+/// Intra-run execution knobs, carried by FabricConfig::execution.
+/// Purely a simulator-performance setting: any value yields
+/// bit-identical simulation results and is excluded from config
+/// descriptions, artifacts, and fingerprints.
+struct ExecutionConfig {
+  ExecutionMode mode = ExecutionMode::kSerial;
+  /// Worker threads in kThreaded mode; <= 0 resolves to ParallelJobs()
+  /// (the FABRICSIM_JOBS setting). Ignored in kSerial mode.
+  int threads = 0;
+  /// Conservative-lookahead bound: how many cut-but-not-yet-validated
+  /// blocks one channel's pipeline may buffer before the main loop
+  /// waits for the worker to drain. Bounds speculation memory;
+  /// <= 0 means unbounded.
+  int lookahead_blocks = 64;
+
+  static ExecutionConfig Serial() { return ExecutionConfig{}; }
+  static ExecutionConfig Threaded(int threads = 0) {
+    ExecutionConfig config;
+    config.mode = ExecutionMode::kThreaded;
+    config.threads = threads;
+    return config;
+  }
+};
+
+/// The single scheduling/execution surface of one simulation run. Owns
+/// the run loop (RunAll/RunUntil over the environment's event heap)
+/// and, in kThreaded mode, the worker pool that commit pipelines and
+/// the parallel validator borrow. In kSerial mode every entry point
+/// degenerates to inline execution on the caller's thread.
+class Executor {
+ public:
+  explicit Executor(ExecutionConfig config);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  ExecutionMode mode() const { return config_.mode; }
+  const ExecutionConfig& config() const { return config_; }
+  /// Resolved worker count (0 in serial mode).
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs events until no real (non-daemon) events remain.
+  void RunAll(Environment& env);
+  /// Runs events until the queue drains or the clock passes `until`.
+  void RunUntil(Environment& env, SimTime until);
+
+  /// Hands `task` to a worker thread (kThreaded), or runs it inline
+  /// (kSerial / no workers). Tasks must not touch the environment:
+  /// they run concurrently with the event loop.
+  void Async(std::function<void()> task);
+
+  /// Runs fn(0..n-1), using idle workers when available. The calling
+  /// thread always participates and self-drains the index space, so
+  /// this is deadlock-free even when every pool worker is busy (e.g.
+  /// when called from inside an Async task). `fn` must not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  ExecutionConfig config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_SIM_EXECUTOR_H_

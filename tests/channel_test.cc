@@ -535,6 +535,25 @@ TEST(VersionedArtifactTest, PlainWriterKeepsVersionOneShape) {
   EXPECT_EQ(doc.find("\"channels\""), std::string::npos);
 }
 
+TEST(VersionedArtifactTest, HardwareConcurrencyHeaderFieldIsOptIn) {
+  VersionedJsonWriter plain("fabricsim.bench",
+                            VersionedJsonWriter::Format::kDocument);
+  plain.AddRow("{\"x\": 1}");
+  // Unset writers keep the pre-annotation byte layout exactly.
+  EXPECT_EQ(plain.Render().find("hardware_concurrency"), std::string::npos);
+
+  VersionedJsonWriter annotated("fabricsim.bench",
+                                VersionedJsonWriter::Format::kDocument);
+  annotated.set_hardware_concurrency(48);
+  annotated.AddRow("{\"x\": 1}");
+  std::string doc = annotated.Render();
+  EXPECT_NE(doc.find("\"hardware_concurrency\": 48"), std::string::npos);
+  // The annotation lives in the header, not the rows, and leaves the
+  // schema version alone.
+  EXPECT_LT(doc.find("\"hardware_concurrency\""), doc.find("\"rows\""));
+  EXPECT_EQ(VersionedJsonWriter::ParseSchemaVersion(doc), 1);
+}
+
 TEST(VersionedArtifactTest, ChannelRowsBumpDocumentToVersionTwo) {
   VersionedJsonWriter writer("fabricsim.bench",
                              VersionedJsonWriter::Format::kDocument);

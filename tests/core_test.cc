@@ -116,10 +116,10 @@ TEST(SweepsTest, BlockSizeSweepFindsExtremes) {
 TEST(SweepsTest, RateSweepOrdersPoints) {
   ExperimentConfig config = FastConfig();
   config.repetitions = 1;
-  auto points = SweepArrivalRates(config, {20, 60});
+  auto points = RunSweep(config, ArrivalRateSweepSpec({20, 60}));
   ASSERT_TRUE(points.ok());
   ASSERT_EQ(points.value().size(), 2u);
-  EXPECT_DOUBLE_EQ(points.value()[0].rate_tps, 20);
+  EXPECT_DOUBLE_EQ(points.value()[0].value, 20);
   EXPECT_GT(points.value()[1].report.ledger_txs,
             points.value()[0].report.ledger_txs);
 }

@@ -1,0 +1,421 @@
+// Executor / threaded-execution tests: the unified Schedule(when,
+// action, ScheduleOpts) surface, the caller-participates ParallelFor,
+// ValidateBlockParallel ≡ ValidateBlock on conflict-heavy blocks, and
+// the hard determinism contract of ExecutionMode::kThreaded — pinned
+// pre-threading golden fingerprints and trace exports must reproduce
+// bitwise under commit pipelines at threads ∈ {1, 4}, across compat,
+// replicated-ordering, multi-channel, and active-fault-mix runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/common/strings.h"
+#include "src/core/runner.h"
+#include "src/peer/validator.h"
+#include "src/policy/policy_presets.h"
+#include "src/sim/environment.h"
+#include "src/sim/executor.h"
+#include "src/statedb/memory_state_db.h"
+
+namespace fabricsim {
+namespace {
+
+// ---------------------------------------------------- scheduling API
+
+TEST(ExecutorScheduleTest, UnifiedScheduleMatchesLegacyShims) {
+  Environment env(7);
+  std::vector<int> order;
+  env.Schedule(20, [&] { order.push_back(2); });
+  env.Schedule(10, [&] { order.push_back(1); });
+  // Absolute scheduling, including the clamp-to-now of past times.
+  env.Schedule(15, [&] { order.push_back(3); }, ScheduleOpts{false, true});
+  env.RunUntil(12);
+  env.Schedule(5, [&] { order.push_back(4); }, ScheduleOpts{false, true});
+  env.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 3, 2}));
+}
+
+TEST(ExecutorScheduleTest, DaemonOptDoesNotKeepTheRunAlive) {
+  Environment env(7);
+  int real = 0;
+  std::atomic<int> daemon_fires{0};
+  std::function<void()> rearm = [&] {
+    ++daemon_fires;
+    env.Schedule(10, rearm, ScheduleOpts{true, false});
+  };
+  env.Schedule(10, rearm, ScheduleOpts{true, false});
+  env.Schedule(35, [&] { ++real; });
+  env.RunAll();
+  EXPECT_EQ(real, 1);
+  // Fired at 10/20/30 while real work remained, then quiesced.
+  EXPECT_EQ(daemon_fires.load(), 3);
+  EXPECT_EQ(env.now(), 35);
+}
+
+TEST(ExecutorScheduleTest, SerialModeHasNoWorkers) {
+  Environment env(7);
+  EXPECT_EQ(env.executor().mode(), ExecutionMode::kSerial);
+  EXPECT_EQ(env.executor().threads(), 0);
+  // Async degenerates to inline execution.
+  bool ran = false;
+  env.executor().Async([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+// ---------------------------------------------------- ParallelFor
+
+TEST(ExecutorParallelForTest, CoversEveryIndexExactlyOnce) {
+  Executor executor(ExecutionConfig::Threaded(4));
+  EXPECT_EQ(executor.threads(), 4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  executor.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  executor.ParallelFor(0, [&](size_t) { FAIL(); });
+}
+
+TEST(ExecutorParallelForTest, NestedInsideAsyncDoesNotDeadlock) {
+  // A ParallelFor issued from a pool task must complete even when the
+  // pool is saturated: the caller self-drains the index space.
+  Executor executor(ExecutionConfig::Threaded(2));
+  std::atomic<int> total{0};
+  std::atomic<int> outer_done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int t = 0; t < 4; ++t) {
+    executor.Async([&] {
+      executor.ParallelFor(64, [&](size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+      if (outer_done.fetch_add(1) + 1 == 4) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return outer_done.load() == 4; });
+  EXPECT_EQ(total.load(), 4 * 64);
+}
+
+// ---------------------------------------------------- parallel validator
+
+EndorsementPolicy TwoOrgPolicy() {
+  return MakePolicy(PolicyPreset::kP0AllOrgs, 2);
+}
+
+Transaction MakeTx(TxId id, ReadWriteSet rwset, bool endorsed_ok = true) {
+  Transaction tx;
+  tx.id = id;
+  tx.rwset = std::move(rwset);
+  uint64_t digest = tx.rwset.Digest();
+  tx.endorsements.push_back(Endorsement{0, 0, digest, true});
+  tx.endorsements.push_back(
+      Endorsement{1, 1, endorsed_ok ? digest : digest ^ 0xbad, true});
+  return tx;
+}
+
+std::string ResultFingerprint(const ValidationOutcome& o) {
+  std::string out;
+  for (const TxValidationResult& r : o.results) {
+    out += StrFormat(
+        "%d/%d tx=%llu key=%s rf=%d rv=%llu.%u of=%d ov=%llu.%u\n",
+        static_cast<int>(r.code), static_cast<int>(r.mvcc_class),
+        static_cast<unsigned long long>(r.conflicting_tx),
+        r.conflicting_key.c_str(), r.read_found ? 1 : 0,
+        static_cast<unsigned long long>(r.read_version.block_num),
+        r.read_version.tx_num, r.observed_found ? 1 : 0,
+        static_cast<unsigned long long>(r.observed_version.block_num),
+        r.observed_version.tx_num);
+  }
+  out += StrFormat("valid=%zu updates=%zu\n", o.valid_count,
+                   o.state_updates.size());
+  for (const auto& [write, version] : o.state_updates) {
+    out += StrFormat("%s=%s del=%d @%llu.%u\n", write.key.c_str(),
+                     write.value.c_str(), write.is_delete ? 1 : 0,
+                     static_cast<unsigned long long>(version.block_num),
+                     version.tx_num);
+  }
+  return out;
+}
+
+TEST(ParallelValidatorTest, MatchesSerialOnConflictHeavyBlock) {
+  MemoryStateDb db;
+  for (char k = 'a'; k <= 'f'; ++k) {
+    db.ApplyWrite(WriteItem{std::string(1, k), "v", false}, {0, 0});
+  }
+  Validator validator(TwoOrgPolicy());
+  Executor executor(ExecutionConfig::Threaded(4));
+
+  Block block;
+  block.number = 3;
+  // Overlay-heavy mix: chained read-write conflicts on "a" (every
+  // second tx must be re-validated against the overlay and fail
+  // intra-block), stale reads (inter-block), VSCC failures, deletes,
+  // not-found reads, and disjoint-key txs whose prechecks survive.
+  for (int i = 0; i < 24; ++i) {
+    ReadWriteSet rwset;
+    switch (i % 6) {
+      case 0:  // conflicting chain on "a"
+        rwset.reads.push_back(ReadItem{"a", {0, 0}, true});
+        rwset.writes.push_back(WriteItem{"a", "w", false});
+        break;
+      case 1:  // stale read (inter-block)
+        rwset.reads.push_back(ReadItem{"b", {9, 9}, true});
+        rwset.writes.push_back(WriteItem{"b", "w", false});
+        break;
+      case 2:  // endorser saw no key; db has one
+        rwset.reads.push_back(ReadItem{"c", {}, false});
+        rwset.writes.push_back(WriteItem{"g", "w", false});
+        break;
+      case 3:  // clean write to a per-tx key
+        rwset.reads.push_back(ReadItem{"d", {0, 0}, true});
+        rwset.writes.push_back(
+            WriteItem{"d" + std::to_string(i), "w", false});
+        break;
+      case 4:  // delete then (next round) re-read of the deleted key
+        rwset.reads.push_back(ReadItem{"e", {0, 0}, true});
+        rwset.writes.push_back(WriteItem{"e", "", true});
+        break;
+      default:  // VSCC failure
+        rwset.reads.push_back(ReadItem{"f", {0, 0}, true});
+        rwset.writes.push_back(WriteItem{"f", "w", false});
+        break;
+    }
+    block.txs.push_back(
+        MakeTx(100 + i, std::move(rwset), /*endorsed_ok=*/i % 6 != 5));
+  }
+  block.results.assign(block.txs.size(), TxValidationResult{});
+  // Fabric++-style pre-aborts must be passed through untouched.
+  block.results[7].code = TxValidationCode::kAbortedByReordering;
+
+  ValidationOutcome serial = validator.ValidateBlock(db, block);
+  ValidationOutcome parallel =
+      validator.ValidateBlockParallel(db, block, executor);
+  EXPECT_EQ(ResultFingerprint(serial), ResultFingerprint(parallel));
+  EXPECT_GT(serial.valid_count, 0u);
+}
+
+TEST(ParallelValidatorTest, MatchesSerialOnPhantomRangeQueries) {
+  MemoryStateDb db;
+  for (int i = 0; i < 10; ++i) {
+    db.ApplyWrite(WriteItem{"k" + std::to_string(i), "v", false}, {0, 0});
+  }
+  Validator validator(TwoOrgPolicy());
+  Executor executor(ExecutionConfig::Threaded(4));
+
+  Block block;
+  block.number = 2;
+  // Endorser-recorded snapshot of [k0, k5).
+  RangeQueryInfo rq;
+  rq.start_key = "k0";
+  rq.end_key = "k5";
+  for (int i = 0; i < 5; ++i) {
+    rq.reads.push_back(ReadItem{"k" + std::to_string(i), {0, 0}, true});
+  }
+  for (int i = 0; i < 8; ++i) {
+    ReadWriteSet rwset;
+    if (i % 2 == 0) {
+      // Writer into the queried interval: later phantom checks must
+      // see the overlay write and fail deterministically.
+      rwset.reads.push_back(
+          ReadItem{"k" + std::to_string(i % 5), {0, 0}, true});
+      rwset.writes.push_back(
+          WriteItem{"k" + std::to_string(i % 5), "w", false});
+    } else {
+      rwset.range_queries.push_back(rq);
+      rwset.writes.push_back(
+          WriteItem{"out" + std::to_string(i), "w", false});
+    }
+    block.txs.push_back(MakeTx(200 + i, std::move(rwset)));
+  }
+  block.results.assign(block.txs.size(), TxValidationResult{});
+
+  ValidationOutcome serial = validator.ValidateBlock(db, block);
+  ValidationOutcome parallel =
+      validator.ValidateBlockParallel(db, block, executor);
+  EXPECT_EQ(ResultFingerprint(serial), ResultFingerprint(parallel));
+}
+
+// ---------------------------------------------------- golden identity
+
+// Same fingerprints channel_test.cc pins (recorded before threaded
+// execution existed): default C1 config, 20 s at 100 tps, seed 42.
+std::string Fingerprint(const FailureReport& r) {
+  std::string out;
+  out += StrFormat(
+      "ledger=%llu valid=%llu endorse=%llu mvcc_intra=%llu "
+      "mvcc_inter=%llu phantom=%llu submitted=%llu app=%llu\n",
+      static_cast<unsigned long long>(r.ledger_txs),
+      static_cast<unsigned long long>(r.valid_txs),
+      static_cast<unsigned long long>(r.endorsement_failures),
+      static_cast<unsigned long long>(r.mvcc_intra),
+      static_cast<unsigned long long>(r.mvcc_inter),
+      static_cast<unsigned long long>(r.phantom),
+      static_cast<unsigned long long>(r.submitted_txs),
+      static_cast<unsigned long long>(r.app_errors));
+  out += StrFormat("pct=%.17g/%.17g/%.17g/%.17g/%.17g\n", r.total_failure_pct,
+                   r.endorsement_pct, r.mvcc_pct, r.phantom_pct,
+                   r.early_abort_pct);
+  out += StrFormat("lat=%.17g/%.17g/%.17g tput=%.17g/%.17g\n", r.avg_latency_s,
+                   r.p50_latency_s, r.p99_latency_s, r.committed_throughput_tps,
+                   r.valid_throughput_tps);
+  return out;
+}
+
+std::string FingerprintWithChannels(const FailureReport& r) {
+  std::string out = Fingerprint(r);
+  for (const ChannelFailureBreakdown& c : r.per_channel) {
+    out += StrFormat("ch%d=%llu/%llu/%llu/%llu/%llu/%llu %.17g/%.17g/%.17g\n",
+                     c.channel, static_cast<unsigned long long>(c.ledger_txs),
+                     static_cast<unsigned long long>(c.valid_txs),
+                     static_cast<unsigned long long>(c.endorsement_failures),
+                     static_cast<unsigned long long>(c.mvcc_intra),
+                     static_cast<unsigned long long>(c.mvcc_inter),
+                     static_cast<unsigned long long>(c.phantom),
+                     c.total_failure_pct, c.mvcc_pct,
+                     c.committed_throughput_tps);
+  }
+  return out;
+}
+
+constexpr char kGoldenCompat[] =
+    "ledger=1998 valid=889 endorse=21 mvcc_intra=808 mvcc_inter=280 "
+    "phantom=0 submitted=1998 app=0\n"
+    "pct=55.505505505505504/1.0510510510510511/54.454454454454456/0/0\n"
+    "lat=0.79166505605605497/0.75911118027396884/2.02848615705734 "
+    "tput=95/44.450000000000003\n";
+
+constexpr char kGoldenReplicated[] =
+    "ledger=1992 valid=899 endorse=20 mvcc_intra=796 mvcc_inter=277 "
+    "phantom=0 submitted=1992 app=0\n"
+    "pct=54.869477911646584/1.0040160642570282/53.865461847389561/0/0\n"
+    "lat=0.78059935993975937/0.74022120304450434/2.0647142323398877 "
+    "tput=95/44.950000000000003\n";
+
+constexpr size_t kGoldenCompatTraceBytes = 1052535;
+constexpr uint64_t kGoldenCompatTraceHash = 6515298324931540603ull;
+constexpr size_t kGoldenReplicatedTraceBytes = 1046460;
+constexpr uint64_t kGoldenReplicatedTraceHash = 702770382419424907ull;
+
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config = ExperimentConfig::Defaults();
+  config.duration = 20 * kSecond;
+  config.arrival_rate_tps = 100;
+  return config;
+}
+
+TEST(ExecutorGoldenTest, ThreadedReproducesPinnedFingerprints) {
+  for (bool replicated : {false, true}) {
+    for (int threads : {1, 4}) {
+      ExperimentConfig config = GoldenConfig();
+      config.fabric.ordering.replicated = replicated;
+      config.fabric.execution = ExecutionConfig::Threaded(threads);
+      Result<FailureReport> r = RunOnce(config, 42);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      SCOPED_TRACE(StrFormat("replicated=%d threads=%d", replicated ? 1 : 0,
+                             threads));
+      EXPECT_EQ(Fingerprint(r.value()),
+                replicated ? kGoldenReplicated : kGoldenCompat);
+    }
+  }
+}
+
+TEST(ExecutorGoldenTest, ThreadedMatchesSerialOnSecondSeed) {
+  // No pinned golden at this seed — the contract is direct equality
+  // with the serial reference on a fresh run.
+  for (bool replicated : {false, true}) {
+    ExperimentConfig config = GoldenConfig();
+    config.duration = 10 * kSecond;
+    config.fabric.ordering.replicated = replicated;
+    Result<FailureReport> serial = RunOnce(config, 43);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int threads : {1, 4}) {
+      config.fabric.execution = ExecutionConfig::Threaded(threads);
+      Result<FailureReport> threaded = RunOnce(config, 43);
+      ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+      EXPECT_EQ(Fingerprint(serial.value()), Fingerprint(threaded.value()))
+          << "replicated=" << replicated << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ExecutorGoldenTest, MultiChannelThreadedMatchesSerial) {
+  for (uint64_t seed : {42ull, 43ull}) {
+    ExperimentConfig config = ExperimentConfig::Builder(GoldenConfig())
+                                  .Channels(4)
+                                  .ChannelSkew(0.9)
+                                  .Duration(10 * kSecond)
+                                  .Build();
+    Result<FailureReport> serial = RunOnce(config, seed);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int threads : {1, 4}) {
+      config.fabric.execution = ExecutionConfig::Threaded(threads);
+      Result<FailureReport> threaded = RunOnce(config, seed);
+      ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+      EXPECT_EQ(FingerprintWithChannels(serial.value()),
+                FingerprintWithChannels(threaded.value()))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ExecutorGoldenTest, FaultMixThreadedMatchesSerial) {
+  // An actively faulty 2-channel run: a crashed-and-replayed peer
+  // exercises the pipeline's interaction with block refetch, the
+  // orderer pause creates bursty cuts, the org delay skews
+  // endorsement. Speculation must stay invisible through all of it.
+  for (uint64_t seed : {42ull, 43ull}) {
+    FaultPlan plan;
+    plan.Crash(/*peer=*/1, 3 * kSecond, 6 * kSecond)
+        .PauseOrderer(4 * kSecond, 5 * kSecond)
+        .Delay(DelayWindow{/*org=*/1, /*node=*/-1, 30 * kMillisecond,
+                           5 * kMillisecond, 2 * kSecond, 8 * kSecond});
+    ExperimentConfig config = ExperimentConfig::Builder(GoldenConfig())
+                                  .Channels(2)
+                                  .Duration(10 * kSecond)
+                                  .Faults(plan)
+                                  .Build();
+    Result<FailureReport> serial = RunOnce(config, seed);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int threads : {1, 4}) {
+      config.fabric.execution = ExecutionConfig::Threaded(threads);
+      Result<FailureReport> threaded = RunOnce(config, seed);
+      ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+      EXPECT_EQ(FingerprintWithChannels(serial.value()),
+                FingerprintWithChannels(threaded.value()))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ExecutorGoldenTest, TraceExportsBitIdenticalUnderThreads) {
+  // The full per-transaction trace export — every span, timestamp and
+  // attribution row — must keep the pre-threading pinned bytes.
+  for (bool replicated : {false, true}) {
+    ExperimentConfig config = GoldenConfig();
+    config.fabric.tracing = true;
+    config.fabric.ordering.replicated = replicated;
+    config.fabric.execution = ExecutionConfig::Threaded(4);
+    config.repetitions = 1;
+    Result<ExperimentResult> result = RunExperiment(config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().traces.size(), 1u);
+    const std::string& trace = result.value().traces[0];
+    SCOPED_TRACE(StrFormat("replicated=%d", replicated ? 1 : 0));
+    EXPECT_EQ(trace.size(), replicated ? kGoldenReplicatedTraceBytes
+                                       : kGoldenCompatTraceBytes);
+    EXPECT_EQ(Fnv1a(trace), replicated ? kGoldenReplicatedTraceHash
+                                       : kGoldenCompatTraceHash);
+  }
+}
+
+}  // namespace
+}  // namespace fabricsim

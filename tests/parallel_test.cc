@@ -206,18 +206,19 @@ TEST(ParallelDeterminismTest, SweepIsIdenticalAcrossJobCounts) {
   const std::vector<uint32_t> sizes = {10, 50, 100};
 
   SetParallelJobs(1);
-  Result<std::vector<BlockSizePoint>> serial = SweepBlockSizes(config, sizes);
+  Result<std::vector<SweepPoint>> serial =
+      RunSweep(config, BlockSizeSweepSpec(sizes));
   ASSERT_TRUE(serial.ok()) << serial.status().ToString();
 
   SetParallelJobs(4);
-  Result<std::vector<BlockSizePoint>> parallel =
-      SweepBlockSizes(config, sizes);
+  Result<std::vector<SweepPoint>> parallel =
+      RunSweep(config, BlockSizeSweepSpec(sizes));
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
 
   ASSERT_EQ(serial.value().size(), parallel.value().size());
   for (size_t i = 0; i < sizes.size(); ++i) {
     SCOPED_TRACE("block size " + std::to_string(sizes[i]));
-    EXPECT_EQ(serial.value()[i].block_size, parallel.value()[i].block_size);
+    EXPECT_DOUBLE_EQ(serial.value()[i].value, parallel.value()[i].value);
     ExpectReportsIdentical(serial.value()[i].report,
                            parallel.value()[i].report);
   }

@@ -270,24 +270,19 @@ TEST(BuilderTest, PolicyPresetResolvesAgainstFinalCluster) {
   EXPECT_EQ(raw.fabric.policy_text, "Org0");
 }
 
-TEST(SweepTest, UnifiedSweepMatchesTypedWrapper) {
+TEST(SweepTest, UnifiedSweepProducesLabeledOrderedPoints) {
   ExperimentConfig config = FastConfig();
   const std::vector<uint32_t> sizes = {50, 100};
 
   auto generic = RunSweep(config, BlockSizeSweepSpec(sizes));
-  auto typed = SweepBlockSizes(config, sizes);
   ASSERT_TRUE(generic.ok());
-  ASSERT_TRUE(typed.ok());
   ASSERT_EQ(generic.value().size(), 2u);
   for (size_t i = 0; i < sizes.size(); ++i) {
     EXPECT_DOUBLE_EQ(generic.value()[i].value,
                      static_cast<double>(sizes[i]));
     EXPECT_EQ(generic.value()[i].label,
               "block_size=" + std::to_string(sizes[i]));
-    EXPECT_EQ(generic.value()[i].report.ledger_txs,
-              typed.value()[i].report.ledger_txs);
-    EXPECT_DOUBLE_EQ(generic.value()[i].report.total_failure_pct,
-                     typed.value()[i].report.total_failure_pct);
+    EXPECT_GT(generic.value()[i].report.ledger_txs, 0u);
   }
 }
 
