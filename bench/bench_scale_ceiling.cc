@@ -1,0 +1,212 @@
+// Scale ceiling: how far the simulator itself scales once client
+// populations are aggregated and observability is streamed. Three
+// sweeps, all on a cluster sized to actually sustain the offered
+// load — 2 orgs x 24 peers (~13k tps of endorsement capacity under
+// P0) and 8 channels x 8 per-peer commit workers (~19k tps of commit
+// capacity; one channel's serial validate/commit path tops out near
+// 2.4k tps) — with the streaming ledger + streaming tracer enabled
+// and a static genChain key space (genchain_mutations = false: no
+// insertKeys minting fresh keys, so state stays bounded and memory
+// growth measures simulator bookkeeping, not application state).
+// Undersizing either capacity would make the DES hold a growing
+// backlog of in-flight transactions — real memory growth, but the
+// modelled system's, not the simulator's:
+//
+//   1. duration sweep at fixed tps — the memory gate. Peak RSS must
+//      NOT grow superlinearly in simulated duration: streaming
+//      observability folds every transaction into O(1) sketches, so
+//      4x the simulated time may not cost anywhere near 4x the peak
+//      memory. Superlinear growth exits 1 (a regression re-introduced
+//      per-transaction retention somewhere).
+//   2. user sweep at fixed aggregate tps — aggregation independence.
+//      One behaviour class of 10^3..10^6 users costs one arrival
+//      actor; wall-clock and memory must stay flat in the user count.
+//   3. the headline run (FABRICSIM_FULL=1): 10^6 users at 10^4 tps
+//      for one simulated hour, single process.
+//
+// FABRICSIM_SMOKE=1 shrinks everything to a CI-sized smoke (seconds);
+// FABRICSIM_FULL=1 runs the headline hour. Wall-clock and peak RSS
+// land in BENCH_scale_ceiling.json.
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bench/bench_util.h"
+#include "src/workload/population/population.h"
+
+using namespace fabricsim;
+using namespace fabricsim::bench;
+
+namespace {
+
+/// Peak resident set of this process so far, in MiB (0 where
+/// getrusage is unavailable). Linux reports ru_maxrss in KiB.
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// The wide scale cluster + streaming everything. The population is a
+/// single behaviour class of `users` users sharing `tps` aggregate,
+/// spread uniformly over the channels.
+constexpr int kChannels = 8;
+
+ExperimentConfig ScaleConfig(uint64_t users, double tps, SimTime duration) {
+  ExperimentConfig config =
+      ExperimentConfig::Builder()
+          .Cluster(ClusterConfig{2, 24, 3, 5})
+          .Database(DatabaseType::kLevelDb)
+          .Chaincode("genchain")
+          .BlockSize(500)
+          .Channels(kChannels)
+          .Duration(duration)
+          .Repetitions(1)
+          .Population(PopulationConfig::SingleClass(users, tps))
+          .StreamingObservability()
+          .StreamingLedger()
+          .Build();
+  // 100k bootstrapped keys total (12.5k per channel namespace), and no
+  // mutating genChain functions: the world state is identical at the
+  // first and last committed block.
+  config.workload.genchain_initial_keys = 100000 / kChannels;
+  config.workload.genchain_mutations = false;
+  config.fabric.timing.peer_commit_workers = kChannels;
+  return config;
+}
+
+struct Point {
+  double wall_ms = 0;
+  double peak_rss_mb = 0;
+  FailureReport report;
+};
+
+Point RunPoint(const ExperimentConfig& config) {
+  Point point;
+  double start = NowMs();
+  Result<FailureReport> r = RunOnce(config, config.base_seed);
+  if (!r.ok()) {
+    std::fprintf(stderr, "scale point failed (%s): %s\n",
+                 config.Describe().c_str(), r.status().ToString().c_str());
+    std::exit(1);
+  }
+  point.wall_ms = NowMs() - start;
+  point.peak_rss_mb = PeakRssMb();
+  point.report = std::move(r).value();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  ParallelJobsFromEnv();
+  bool smoke = std::getenv("FABRICSIM_SMOKE") != nullptr;
+  bool full = !smoke && std::getenv("FABRICSIM_FULL") != nullptr;
+
+  Header("Scale ceiling - aggregated populations + streaming observability",
+         "one arrival actor per behaviour class and O(1) sketches per "
+         "metric keep wall-clock linear in transaction count and peak "
+         "memory flat in both user count and simulated duration");
+
+  JsonWriter json("scale_ceiling");
+
+  // -- 1. duration sweep at fixed tps: the superlinear-memory gate ----
+  // Runs first so the process RSS high-water mark is a faithful
+  // per-point reading (getrusage peaks never come back down).
+  double gate_tps = smoke ? 200 : 1000;
+  SimTime base_duration = smoke ? 5 * kSecond : 30 * kSecond;
+  uint64_t gate_users = 100000;
+  std::printf("-- duration sweep (users=%llu, %.0f tps) --\n",
+              static_cast<unsigned long long>(gate_users), gate_tps);
+  std::printf("%12s %12s %14s %14s\n", "sim seconds", "wall ms",
+              "peak RSS MB", "committed tps");
+  double first_rss = 0, last_rss = 0;
+  for (int scale : {1, 2, 4}) {
+    SimTime duration = base_duration * scale;
+    ExperimentConfig config = ScaleConfig(gate_users, gate_tps, duration);
+    Point p = RunPoint(config);
+    json.Config(config);
+    double seconds = ToSeconds(duration);
+    std::printf("%12.0f %12.0f %14.1f %14.1f\n", seconds, p.wall_ms,
+                p.peak_rss_mb, p.report.committed_throughput_tps);
+    std::fflush(stdout);
+    json.RowMetric("duration_sweep_rss", seconds, config.base_seed, p.wall_ms,
+                   "peak_rss_mb", p.peak_rss_mb);
+    json.RowMetric("duration_sweep_tps", seconds, config.base_seed, p.wall_ms,
+                   "tps", p.report.committed_throughput_tps);
+    if (scale == 1) first_rss = p.peak_rss_mb;
+    last_rss = p.peak_rss_mb;
+  }
+  // The gate: 4x simulated time must stay well under 4x peak memory.
+  // Streaming keeps the real growth near zero; the 2x + 64 MiB band
+  // only trips when something retains per-transaction state again.
+  if (first_rss > 0 && last_rss > first_rss * 2.0 + 64.0) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS grew superlinearly in simulated duration "
+                 "(%.1f MB at 1x -> %.1f MB at 4x) - streaming "
+                 "observability is leaking per-transaction state\n",
+                 first_rss, last_rss);
+    json.Flush();
+    return 1;
+  }
+  std::printf("memory gate passed: %.1f MB at 1x -> %.1f MB at 4x "
+              "simulated duration\n\n", first_rss, last_rss);
+
+  // -- 2. user sweep at fixed aggregate tps ---------------------------
+  double sweep_tps = smoke ? 200 : 1000;
+  SimTime sweep_duration = smoke ? 5 * kSecond : 30 * kSecond;
+  std::printf("-- user sweep (%.0f tps aggregate, %.0f s simulated) --\n",
+              sweep_tps, ToSeconds(sweep_duration));
+  std::printf("%12s %12s %14s %14s\n", "users", "wall ms", "peak RSS MB",
+              "committed tps");
+  std::vector<uint64_t> user_points = {1000, 10000, 100000};
+  if (!smoke) user_points.push_back(1000000);
+  for (uint64_t users : user_points) {
+    ExperimentConfig config = ScaleConfig(users, sweep_tps, sweep_duration);
+    Point p = RunPoint(config);
+    json.Config(config);
+    std::printf("%12llu %12.0f %14.1f %14.1f\n",
+                static_cast<unsigned long long>(users), p.wall_ms,
+                p.peak_rss_mb, p.report.committed_throughput_tps);
+    std::fflush(stdout);
+    json.RowMetric("users_sweep_rss", static_cast<double>(users),
+                   config.base_seed, p.wall_ms, "peak_rss_mb", p.peak_rss_mb);
+    json.RowMetric("users_sweep_tps", static_cast<double>(users),
+                   config.base_seed, p.wall_ms, "tps",
+                   p.report.committed_throughput_tps);
+  }
+  std::printf("\n");
+
+  // -- 3. the headline run (FABRICSIM_FULL=1) -------------------------
+  if (full) {
+    std::printf("-- headline: 10^6 users, 10^4 tps, 1 simulated hour --\n");
+    ExperimentConfig config = ScaleConfig(1000000, 10000, 3600 * kSecond);
+    Point p = RunPoint(config);
+    json.Config(config);
+    std::printf("%12s %12s %14s %14s %10s\n", "ledger txs", "wall s",
+                "peak RSS MB", "committed tps", "mvcc %");
+    std::printf("%12llu %12.1f %14.1f %14.1f %10.2f\n",
+                static_cast<unsigned long long>(p.report.ledger_txs),
+                p.wall_ms / 1000.0, p.peak_rss_mb,
+                p.report.committed_throughput_tps, p.report.mvcc_pct);
+    json.RowMetric("headline_rss", 3600, config.base_seed, p.wall_ms,
+                   "peak_rss_mb", p.peak_rss_mb);
+    json.RowMetric("headline_tps", 3600, config.base_seed, p.wall_ms, "tps",
+                   p.report.committed_throughput_tps);
+  } else {
+    std::printf("headline hour skipped (set FABRICSIM_FULL=1 to run "
+                "10^6 users at 10^4 tps for 3600 simulated seconds)\n");
+  }
+  return 0;
+}

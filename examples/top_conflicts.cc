@@ -73,7 +73,7 @@ int main() {
   }
 
   // --- per-phase latency breakdown -----------------------------------
-  const PhaseHistograms& phases = tracer->phases();
+  const PhaseSketches& phases = tracer->phases();
   std::printf("phase latency over %llu ledger txs (ms):\n",
               static_cast<unsigned long long>(phases.total.count()));
   std::printf("  %-10s avg %8.1f  p99 %8.1f\n", "endorse",

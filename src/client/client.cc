@@ -1,6 +1,7 @@
 #include "src/client/client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <utility>
@@ -15,7 +16,13 @@ void Client::Start() { ScheduleNextArrival(); }
 
 void Client::ScheduleNextArrival() {
   double mean_us = 1e6 / p_.arrival_rate_tps;
-  SimTime gap = static_cast<SimTime>(p_.rng.Exponential(mean_us));
+  // Round the exponential draw to the nearest tick. Truncating it
+  // (the old static_cast) floored every gap, which at high per-client
+  // rates (mean gap of a few ticks) inflated the effective arrival
+  // rate by ~10% and piled same-timestamp submissions; rounding is
+  // unbiased to within half a tick. The >= 1 clamp keeps arrivals
+  // strictly ordered.
+  SimTime gap = static_cast<SimTime>(std::llround(p_.rng.Exponential(mean_us)));
   if (gap < 1) gap = 1;
   p_.env->Schedule(gap, [this]() {
     if (p_.env->now() > p_.load_end_time) return;  // load phase over
@@ -52,6 +59,12 @@ void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count,
   // org (flow step 1). For P0 (all orgs) this is every organization.
   std::vector<Peer*> targets;
   for (OrgId org : p_.policy->ChooseSatisfyingOrgs(round_robin_)) {
+    // A policy may reference orgs beyond the deployed cluster (e.g. a
+    // preset instantiated for more orgs than exist); treat them like
+    // orgs with no endorsing peers instead of indexing out of bounds.
+    if (org < 0 || static_cast<size_t>(org) >= p_.peers_by_org.size()) {
+      continue;
+    }
     const std::vector<Peer*>& org_peers =
         p_.peers_by_org[static_cast<size_t>(org)];
     if (org_peers.empty()) continue;

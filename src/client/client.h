@@ -138,6 +138,14 @@ class Client {
   /// Schedules the first arrival.
   void Start();
 
+  /// Draws and submits one transaction immediately, without arming the
+  /// client's own Poisson clock. The aggregated population actor
+  /// (src/workload/population) owns the arrival process for large
+  /// behaviour classes and drives its embedded Client through this —
+  /// the entire endorsement/ordering/retry/resubmission machinery is
+  /// reused per arrival instead of per client object.
+  void SubmitNow() { SubmitOne(); }
+
   /// Commit feedback from the harness (resubmission mode only): the
   /// registered transaction was validated with `code` on the reference
   /// peer. MVCC/phantom failures within budget are resubmitted as

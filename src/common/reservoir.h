@@ -1,0 +1,55 @@
+#ifndef FABRICSIM_COMMON_RESERVOIR_H_
+#define FABRICSIM_COMMON_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace fabricsim {
+
+/// Uniform reservoir sampler (Vitter's Algorithm R): keeps a uniform
+/// sample of at most `capacity` items from a stream of unknown length,
+/// in O(capacity) memory. The streaming observability path uses it to
+/// retain exemplar failure traces after dense span storage is gone.
+///
+/// Draws come from the sampler's own Rng, so sampling never perturbs
+/// the simulation's RNG streams; for a fixed seed and input stream the
+/// retained set is deterministic.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed, /*stream=*/0x9e3779b9u) {}
+
+  /// Offers one item; takes ownership (items may be move-only).
+  void Offer(T item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return;
+    }
+    if (capacity_ == 0) return;
+    uint64_t j = rng_.UniformU64(seen_);
+    if (j < capacity_) items_[static_cast<size_t>(j)] = std::move(item);
+  }
+
+  /// Retained sample, in reservoir-slot order (not stream order).
+  const std::vector<T>& items() const { return items_; }
+  std::vector<T>& items() { return items_; }
+  /// Total items offered so far.
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_COMMON_RESERVOIR_H_

@@ -42,6 +42,12 @@ double Rng::UniformRange(double lo, double hi) {
 }
 
 double Rng::Exponential(double mean) {
+  // A non-positive (or NaN) mean has no exponential distribution; the
+  // old code silently returned negative/NaN draws that wrecked event
+  // scheduling downstream. Degenerate means collapse to 0 without
+  // consuming randomness, so callers with a guarded rate draw the same
+  // stream as before.
+  if (!(mean > 0.0)) return 0.0;
   double u = UniformDouble();
   // Guard against log(0).
   if (u <= 0.0) u = 0x1.0p-53;

@@ -74,6 +74,7 @@ double Histogram::BucketHigh(size_t index) const {
 void Histogram::Add(double value) {
   if (value < 0) value = 0;
   buckets_[BucketFor(value)]++;
+  min_ = count_ == 0 ? value : std::min(min_, value);
   count_++;
   sum_ += value;
   max_ = std::max(max_, value);
@@ -92,15 +93,113 @@ double Histogram::Percentile(double q) const {
     double next = cum + static_cast<double>(buckets_[i]);
     if (next >= target && buckets_[i] > 0) {
       double frac = (target - cum) / static_cast<double>(buckets_[i]);
-      // Interpolation inside the bucket holding the largest sample can
-      // land past that sample (e.g. Percentile(1.0) at the bucket's
-      // upper edge); never report more than the observed maximum.
-      return std::min(BucketLow(i) + frac * (BucketHigh(i) - BucketLow(i)),
-                      max_);
+      // Interpolate only across the part of the bucket that can hold
+      // data. Bucket 0 nominally spans [0, 0.001ms) and the overflow
+      // bucket's BucketHigh overstates its upper edge, so both used to
+      // report values no sample ever took; clamping the bucket edges
+      // to the observed [min, max] keeps every interpolated quantile
+      // inside the recorded range.
+      double lo = std::max(BucketLow(i), min_);
+      // The overflow bucket has no meaningful nominal upper edge; its
+      // true range ends at the observed max.
+      double hi = (i + 1 == buckets_.size())
+                      ? max_
+                      : std::min(BucketHigh(i), max_);
+      if (hi < lo) return std::clamp(BucketLow(i), min_, max_);
+      return lo + frac * (hi - lo);
     }
     cum = next;
   }
   return max_;
+}
+
+namespace {
+// gamma and 1/ln(gamma) for the sketch's geometric buckets. Bucket i
+// covers (kMinTracked * gamma^(i-1), kMinTracked * gamma^i]; the
+// mid-estimate 2*gamma^i/(gamma+1) is within kRelativeError of every
+// value in the bucket.
+constexpr double kGamma = (1.0 + QuantileSketch::kRelativeError) /
+                          (1.0 - QuantileSketch::kRelativeError);
+const double kInvLogGamma = 1.0 / std::log(kGamma);
+
+double SketchBucketEstimate(int32_t index) {
+  return QuantileSketch::kMinTracked *
+         std::pow(kGamma, static_cast<double>(index)) * 2.0 / (kGamma + 1.0);
+}
+}  // namespace
+
+int32_t QuantileSketch::IndexFor(double value) const {
+  // ceil(log_gamma(v / kMinTracked)); value > kMinTracked here.
+  double idx = std::ceil(std::log(value / kMinTracked) * kInvLogGamma);
+  return static_cast<int32_t>(idx);
+}
+
+void QuantileSketch::Add(double value) {
+  if (value < 0 || !std::isfinite(value)) value = 0;
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = count_ == 0 ? value : std::max(max_, value);
+  ++count_;
+  sum_ += value;
+  if (value <= kMinTracked) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[IndexFor(value)];
+  if (buckets_.size() > kMaxBuckets) CollapseLowest();
+}
+
+void QuantileSketch::CollapseLowest() {
+  // Fold the lowest bucket into the zero bucket: bounded memory at the
+  // cost of low-tail accuracy, which only a pathological value range
+  // (> ~25 decades) can trigger.
+  auto lowest = buckets_.begin();
+  zero_count_ += lowest->second;
+  buckets_.erase(lowest);
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) {
+    buckets_[index] += n;
+    if (buckets_.size() > kMaxBuckets) CollapseLowest();
+  }
+}
+
+double QuantileSketch::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank walk: the smallest bucket whose cumulative count reaches
+  // ceil(q * count) holds the q-quantile sample; report its
+  // mid-estimate clamped to the observed range.
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t cum = zero_count_;
+  if (target <= cum) return min_;
+  for (const auto& [index, n] : buckets_) {
+    cum += n;
+    if (cum >= target) {
+      return std::clamp(SketchBucketEstimate(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+size_t QuantileSketch::ApproxMemoryBytes() const {
+  // Red-black tree node: key+value plus three pointers and color.
+  constexpr size_t kNodeBytes =
+      sizeof(int32_t) + sizeof(uint64_t) + 4 * sizeof(void*);
+  return sizeof(*this) + buckets_.size() * kNodeBytes;
 }
 
 }  // namespace fabricsim

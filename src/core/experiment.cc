@@ -48,6 +48,18 @@ std::string ExperimentConfig::Describe() const {
     description += StrFormat(
         " | backend=%s", StateBackendTypeToString(fabric.state_backend));
   }
+  // Population / streaming knobs are echoed only when engaged, for the
+  // same byte-stability reason.
+  if (!population.empty()) {
+    description += StrFormat(
+        " | population=%zu classes, %llu users, %.0f tps",
+        population.classes.size(),
+        static_cast<unsigned long long>(population.TotalUsers()),
+        population.TotalRateTps());
+  }
+  if (fabric.streaming_obs) description += " | streaming-obs";
+  if (fabric.streaming_ledger) description += " | streaming-ledger";
+  if (!workload.genchain_mutations) description += " | static-keys";
   return description;
 }
 

@@ -11,6 +11,7 @@
 #include "src/common/status.h"
 #include "src/fabric/network_config.h"
 #include "src/policy/policy_presets.h"
+#include "src/workload/population/population.h"
 #include "src/workload/workload_spec.h"
 
 namespace fabricsim {
@@ -21,6 +22,13 @@ namespace fabricsim {
 struct ExperimentConfig {
   FabricConfig fabric;
   WorkloadConfig workload;
+  /// Behaviour-class client population. When empty (the default) the
+  /// run uses the legacy flat client pool driven by arrival_rate_tps;
+  /// when set it replaces arrival_rate_tps/cluster.num_clients as the
+  /// load model (per-class rates, retry policies, channel affinities,
+  /// chaincode mixes, optional MMPP modulation — aggregated above the
+  /// population's threshold).
+  PopulationConfig population;
   double arrival_rate_tps = 100.0;
   /// Load phase duration in simulated time. The paper drives load for
   /// 3 minutes; 60 s is statistically equivalent here and keeps the
@@ -132,6 +140,24 @@ class ExperimentConfig::Builder {
   }
   Builder& Tracing(bool on = true) {
     config_.fabric.tracing = on;
+    return *this;
+  }
+  /// Behaviour-class population (replaces the flat RateTps() client
+  /// pool; see ExperimentConfig::population).
+  Builder& Population(PopulationConfig population) {
+    config_.population = std::move(population);
+    return *this;
+  }
+  /// Memory-bounded streaming tracer (sketches + failure exemplars
+  /// instead of dense per-transaction spans).
+  Builder& StreamingObservability(bool on = true) {
+    config_.fabric.streaming_obs = on;
+    return *this;
+  }
+  /// Fold commits into streaming aggregates instead of retaining the
+  /// canonical ledger (incompatible with fault plans).
+  Builder& StreamingLedger(bool on = true) {
+    config_.fabric.streaming_ledger = on;
     return *this;
   }
   Builder& SubmitReadOnly(bool on) {

@@ -4,85 +4,19 @@
 
 #include "src/common/stats.h"
 #include "src/common/strings.h"
+#include "src/ledger/ledger_stats.h"
 #include "src/obs/tracer.h"
 
 namespace fabricsim {
 
-FailureReport BuildFailureReport(const BlockStore& ledger,
-                                 const RunStats& stats,
-                                 SimTime load_duration,
-                                 const Tracer* tracer) {
-  return BuildFailureReport(std::vector<const BlockStore*>{&ledger}, stats,
-                            load_duration, tracer);
-}
+namespace {
 
-FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
-                                 const RunStats& stats,
-                                 SimTime load_duration,
-                                 const Tracer* tracer) {
-  FailureReport report;
-  double seconds = ToSeconds(load_duration);
-  // Aggregate counts sum over every channel's chain; with exactly one
-  // ledger every accumulation below reduces to the same arithmetic the
-  // single-ledger report always did, keeping it bitwise stable.
-  LedgerSummary summary;
-  Histogram latencies;
-  uint64_t committed_in_window = 0;
-  for (size_t c = 0; c < ledgers.size(); ++c) {
-    const BlockStore& ledger = *ledgers[c];
-    LedgerSummary channel_summary = LedgerParser::Summarize(ledger);
-    summary.total += channel_summary.total;
-    summary.valid += channel_summary.valid;
-    summary.endorsement_policy_failures +=
-        channel_summary.endorsement_policy_failures;
-    summary.mvcc_intra_block += channel_summary.mvcc_intra_block;
-    summary.mvcc_inter_block += channel_summary.mvcc_inter_block;
-    summary.phantom_read_conflicts += channel_summary.phantom_read_conflicts;
-    summary.reordering_aborts += channel_summary.reordering_aborts;
-
-    uint64_t channel_committed_in_window = 0;
-    for (const TxRecord& rec : LedgerParser::Parse(ledger)) {
-      latencies.Add(ToMillis(rec.TotalLatency()));
-      if (rec.committed_time <= load_duration) ++channel_committed_in_window;
-    }
-    committed_in_window += channel_committed_in_window;
-
-    // Ordering-availability proxy: the widest silence between
-    // consecutive block cuts on any one channel's chain.
-    SimTime prev_cut = kSimTimeNever;
-    for (const auto& block : ledger.blocks()) {
-      if (prev_cut != kSimTimeNever && block.cut_time > prev_cut) {
-        double gap = ToSeconds(block.cut_time - prev_cut);
-        if (gap > report.max_interblock_gap_s) {
-          report.max_interblock_gap_s = gap;
-        }
-      }
-      prev_cut = block.cut_time;
-    }
-
-    if (ledgers.size() > 1) {
-      ChannelFailureBreakdown slice;
-      slice.channel = static_cast<int>(c);
-      slice.ledger_txs = channel_summary.total;
-      slice.valid_txs = channel_summary.valid;
-      slice.endorsement_failures = channel_summary.endorsement_policy_failures;
-      slice.mvcc_intra = channel_summary.mvcc_intra_block;
-      slice.mvcc_inter = channel_summary.mvcc_inter_block;
-      slice.phantom = channel_summary.phantom_read_conflicts;
-      if (channel_summary.total > 0) {
-        double n = static_cast<double>(channel_summary.total);
-        slice.total_failure_pct =
-            100.0 * static_cast<double>(channel_summary.failed()) / n;
-        slice.mvcc_pct =
-            100.0 * static_cast<double>(channel_summary.mvcc_total()) / n;
-      }
-      if (seconds > 0) {
-        slice.committed_throughput_tps =
-            static_cast<double>(channel_committed_in_window) / seconds;
-      }
-      report.per_channel.push_back(slice);
-    }
-  }
+/// Counts, failure percentages, stats-side counters and throughput —
+/// the part of the report that is a pure function of (summary, stats,
+/// window length), shared by the parsed-ledger and streaming builds so
+/// both produce identical numbers from identical counts.
+void FillFromSummary(FailureReport& report, const LedgerSummary& summary,
+                     const RunStats& stats, double seconds) {
   report.ledger_txs = summary.total;
   report.valid_txs = summary.valid;
   report.endorsement_failures = summary.endorsement_policy_failures;
@@ -130,6 +64,96 @@ FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
          static_cast<double>(stats.early_aborts_by_reordering)) /
         static_cast<double>(stats.txs_submitted);
   }
+  if (seconds > 0) {
+    report.valid_throughput_tps =
+        static_cast<double>(summary.valid) / seconds;
+  }
+}
+
+/// Per-phase breakdown from the tracer's sketches (both build paths).
+void FillPhases(FailureReport& report, const Tracer* tracer) {
+  if (tracer == nullptr || tracer->phases().total.count() == 0) return;
+  const PhaseSketches& phases = tracer->phases();
+  report.has_phase_breakdown = true;
+  report.endorse_avg_s = phases.endorse.mean() / 1000.0;
+  report.endorse_p99_s = phases.endorse.Percentile(0.99) / 1000.0;
+  report.ordering_avg_s = phases.ordering.mean() / 1000.0;
+  report.ordering_p99_s = phases.ordering.Percentile(0.99) / 1000.0;
+  report.commit_avg_s = phases.commit.mean() / 1000.0;
+  report.commit_p99_s = phases.commit.Percentile(0.99) / 1000.0;
+}
+
+}  // namespace
+
+FailureReport BuildFailureReport(const BlockStore& ledger,
+                                 const RunStats& stats,
+                                 SimTime load_duration,
+                                 const Tracer* tracer) {
+  return BuildFailureReport(std::vector<const BlockStore*>{&ledger}, stats,
+                            load_duration, tracer);
+}
+
+FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
+                                 const RunStats& stats,
+                                 SimTime load_duration,
+                                 const Tracer* tracer) {
+  FailureReport report;
+  double seconds = ToSeconds(load_duration);
+  // Aggregate counts sum over every channel's chain; with exactly one
+  // ledger every accumulation below reduces to the same arithmetic the
+  // single-ledger report always did, keeping it bitwise stable.
+  LedgerSummary summary;
+  Histogram latencies;
+  uint64_t committed_in_window = 0;
+  for (size_t c = 0; c < ledgers.size(); ++c) {
+    const BlockStore& ledger = *ledgers[c];
+    LedgerSummary channel_summary = LedgerParser::Summarize(ledger);
+    summary.Merge(channel_summary);
+
+    uint64_t channel_committed_in_window = 0;
+    for (const TxRecord& rec : LedgerParser::Parse(ledger)) {
+      latencies.Add(ToMillis(rec.TotalLatency()));
+      if (rec.committed_time <= load_duration) ++channel_committed_in_window;
+    }
+    committed_in_window += channel_committed_in_window;
+
+    // Ordering-availability proxy: the widest silence between
+    // consecutive block cuts on any one channel's chain.
+    SimTime prev_cut = kSimTimeNever;
+    for (const auto& block : ledger.blocks()) {
+      if (prev_cut != kSimTimeNever && block.cut_time > prev_cut) {
+        double gap = ToSeconds(block.cut_time - prev_cut);
+        if (gap > report.max_interblock_gap_s) {
+          report.max_interblock_gap_s = gap;
+        }
+      }
+      prev_cut = block.cut_time;
+    }
+
+    if (ledgers.size() > 1) {
+      ChannelFailureBreakdown slice;
+      slice.channel = static_cast<int>(c);
+      slice.ledger_txs = channel_summary.total;
+      slice.valid_txs = channel_summary.valid;
+      slice.endorsement_failures = channel_summary.endorsement_policy_failures;
+      slice.mvcc_intra = channel_summary.mvcc_intra_block;
+      slice.mvcc_inter = channel_summary.mvcc_inter_block;
+      slice.phantom = channel_summary.phantom_read_conflicts;
+      if (channel_summary.total > 0) {
+        double n = static_cast<double>(channel_summary.total);
+        slice.total_failure_pct =
+            100.0 * static_cast<double>(channel_summary.failed()) / n;
+        slice.mvcc_pct =
+            100.0 * static_cast<double>(channel_summary.mvcc_total()) / n;
+      }
+      if (seconds > 0) {
+        slice.committed_throughput_tps =
+            static_cast<double>(channel_committed_in_window) / seconds;
+      }
+      report.per_channel.push_back(slice);
+    }
+  }
+  FillFromSummary(report, summary, stats, seconds);
 
   // Latency over all ledger transactions (failed and successful), and
   // the count of transactions that committed within the load window
@@ -140,24 +164,62 @@ FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
     report.p50_latency_s = latencies.Percentile(0.5) / 1000.0;
     report.p99_latency_s = latencies.Percentile(0.99) / 1000.0;
   }
-
   if (seconds > 0) {
     report.committed_throughput_tps =
         static_cast<double>(committed_in_window) / seconds;
-    report.valid_throughput_tps =
-        static_cast<double>(summary.valid) / seconds;
   }
 
-  if (tracer != nullptr && tracer->phases().total.count() > 0) {
-    const PhaseHistograms& phases = tracer->phases();
-    report.has_phase_breakdown = true;
-    report.endorse_avg_s = phases.endorse.mean() / 1000.0;
-    report.endorse_p99_s = phases.endorse.Percentile(0.99) / 1000.0;
-    report.ordering_avg_s = phases.ordering.mean() / 1000.0;
-    report.ordering_p99_s = phases.ordering.Percentile(0.99) / 1000.0;
-    report.commit_avg_s = phases.commit.mean() / 1000.0;
-    report.commit_p99_s = phases.commit.Percentile(0.99) / 1000.0;
+  FillPhases(report, tracer);
+  return report;
+}
+
+FailureReport BuildFailureReport(const StreamingLedgerStats& ledger_stats,
+                                 const RunStats& stats,
+                                 SimTime load_duration,
+                                 const Tracer* tracer) {
+  FailureReport report;
+  double seconds = ToSeconds(load_duration);
+  FillFromSummary(report, ledger_stats.summary(), stats, seconds);
+  report.max_interblock_gap_s = ledger_stats.max_interblock_gap_s();
+
+  const QuantileSketch& latencies = ledger_stats.latency_ms();
+  if (latencies.count() > 0) {
+    report.avg_latency_s = latencies.mean() / 1000.0;
+    report.p50_latency_s = latencies.Percentile(0.5) / 1000.0;
+    report.p99_latency_s = latencies.Percentile(0.99) / 1000.0;
   }
+  if (seconds > 0) {
+    report.committed_throughput_tps =
+        static_cast<double>(ledger_stats.committed_in_window()) / seconds;
+  }
+
+  if (ledger_stats.num_channels() > 1) {
+    for (int c = 0; c < ledger_stats.num_channels(); ++c) {
+      const LedgerSummary& channel_summary = ledger_stats.channel_summary(c);
+      ChannelFailureBreakdown slice;
+      slice.channel = c;
+      slice.ledger_txs = channel_summary.total;
+      slice.valid_txs = channel_summary.valid;
+      slice.endorsement_failures = channel_summary.endorsement_policy_failures;
+      slice.mvcc_intra = channel_summary.mvcc_intra_block;
+      slice.mvcc_inter = channel_summary.mvcc_inter_block;
+      slice.phantom = channel_summary.phantom_read_conflicts;
+      if (channel_summary.total > 0) {
+        double n = static_cast<double>(channel_summary.total);
+        slice.total_failure_pct =
+            100.0 * static_cast<double>(channel_summary.failed()) / n;
+        slice.mvcc_pct =
+            100.0 * static_cast<double>(channel_summary.mvcc_total()) / n;
+      }
+      if (seconds > 0) {
+        slice.committed_throughput_tps =
+            static_cast<double>(ledger_stats.committed_in_window(c)) / seconds;
+      }
+      report.per_channel.push_back(slice);
+    }
+  }
+
+  FillPhases(report, tracer);
   return report;
 }
 

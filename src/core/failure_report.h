@@ -10,6 +10,7 @@
 namespace fabricsim {
 
 class Tracer;
+class StreamingLedgerStats;
 
 /// Failure-class slice of one channel's ledger (multi-channel runs
 /// only): the same blockchain-parsed counts as the aggregate report,
@@ -123,6 +124,16 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
 /// per-channel breakdown. Passing exactly one ledger is arithmetic-
 /// identical to the single-ledger overload.
 FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
+                                 const RunStats& stats,
+                                 SimTime load_duration,
+                                 const Tracer* tracer = nullptr);
+
+/// Streaming variant: builds the report from commit-time aggregates
+/// instead of a retained ledger. Failure counts and throughput are
+/// exact (same per-tx classification as the parsed path); latency
+/// quantiles are sketch-approximate within
+/// QuantileSketch::kRelativeError.
+FailureReport BuildFailureReport(const StreamingLedgerStats& ledger_stats,
                                  const RunStats& stats,
                                  SimTime load_duration,
                                  const Tracer* tracer = nullptr);

@@ -41,25 +41,59 @@ Result<RunArtifacts> RunOnceArtifacts(const ExperimentConfig& config,
                             std::move(workload).value()));
   FABRICSIM_RETURN_NOT_OK(network.Init());
   network.set_channel_affinity(config.workload.channel_affinity);
-  network.StartLoad(config.arrival_rate_tps, config.duration);
+  if (config.population.empty()) {
+    network.StartLoad(config.arrival_rate_tps, config.duration);
+  } else {
+    // Per-class chaincode mixes are resolved here (the network layer
+    // knows nothing about WorkloadConfig): a class with a mix override
+    // gets its own generator over the same chaincode/key-space config,
+    // classes without one share the run's generator (nullptr entry).
+    std::vector<std::shared_ptr<WorkloadGenerator>> class_workloads;
+    for (const BehaviourClass& bc : config.population.classes) {
+      if (!bc.mix.has_value()) {
+        class_workloads.push_back(nullptr);
+        continue;
+      }
+      WorkloadConfig class_config = workload_config;
+      class_config.mix = *bc.mix;
+      Result<std::unique_ptr<WorkloadGenerator>> class_workload =
+          MakeWorkload(class_config, rich);
+      if (!class_workload.ok()) return class_workload.status();
+      class_workloads.push_back(std::shared_ptr<WorkloadGenerator>(
+          std::move(class_workload).value()));
+    }
+    FABRICSIM_RETURN_NOT_OK(network.StartLoad(
+        config.population, config.duration, std::move(class_workloads)));
+  }
   env.RunAll();
   // Chain-integrity audit, unconditional on every run (healthy or
   // chaotic): byte-identical dense hash chains on all peers, no acked
   // transaction lost or committed twice. A violation is a simulator
-  // bug, never a legitimate result — fail the run loudly.
-  ChainIntegrityReport integrity = CheckChainIntegrity(network);
-  if (!integrity.ok()) {
-    return Status::Internal("chain integrity violated: " +
-                            integrity.Summary());
+  // bug, never a legitimate result — fail the run loudly. Streaming-
+  // ledger runs are the one exception: the audit parses the retained
+  // canonical ledger, which streaming mode deliberately discards
+  // (which is also why streaming_ledger rejects fault plans).
+  if (!config.fabric.streaming_ledger) {
+    ChainIntegrityReport integrity = CheckChainIntegrity(network);
+    if (!integrity.ok()) {
+      return Status::Internal("chain integrity violated: " +
+                              integrity.Summary());
+    }
   }
   RunArtifacts artifacts;
-  std::vector<const BlockStore*> ledgers;
-  ledgers.reserve(network.num_channels());
-  for (int c = 0; c < network.num_channels(); ++c) {
-    ledgers.push_back(&network.ledger(c));
+  if (network.ledger_stats() != nullptr) {
+    artifacts.report = BuildFailureReport(
+        *network.ledger_stats(), network.stats(), config.duration,
+        network.tracer());
+  } else {
+    std::vector<const BlockStore*> ledgers;
+    ledgers.reserve(network.num_channels());
+    for (int c = 0; c < network.num_channels(); ++c) {
+      ledgers.push_back(&network.ledger(c));
+    }
+    artifacts.report = BuildFailureReport(ledgers, network.stats(),
+                                          config.duration, network.tracer());
   }
-  artifacts.report = BuildFailureReport(ledgers, network.stats(),
-                                        config.duration, network.tracer());
   if (network.tracer() != nullptr) {
     artifacts.trace_jsonl = network.tracer()->ExportJsonl(config.Describe());
   }

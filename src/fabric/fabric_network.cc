@@ -57,6 +57,15 @@ Status FabricNetwork::Init() {
     return Status::InvalidArgument("cluster must have orgs, peers, clients");
   }
   const int num_channels = this->num_channels();
+  if (config_.streaming_ledger && !config_.faults.empty()) {
+    // The chain-integrity audit that makes fault runs trustworthy
+    // parses the retained ledger; streaming throws the blocks away.
+    return Status::InvalidArgument(
+        "streaming_ledger is incompatible with a fault plan");
+  }
+  if (config_.streaming_ledger) {
+    ledger_stats_ = std::make_unique<StreamingLedgerStats>(num_channels);
+  }
 
   // Every channel inherits the constructor's chaincode unless a
   // channel-specific installation shadows it.
@@ -67,8 +76,10 @@ Status FabricNetwork::Init() {
   }
 
   // --- Lifecycle tracing ---------------------------------------------
-  if (config_.tracing) {
-    tracer_ = std::make_unique<Tracer>();
+  if (config_.tracing || config_.streaming_obs) {
+    TracerOptions trace_options;
+    trace_options.streaming = config_.streaming_obs;
+    tracer_ = std::make_unique<Tracer>(trace_options);
     tracer_->set_num_channels(num_channels);
     env_->set_tracer(tracer_.get());
   }
@@ -358,41 +369,78 @@ std::shared_ptr<const Block> FabricNetwork::FetchCanonicalBlock(
 }
 
 void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
-  const ClusterConfig& cluster = config_.cluster;
+  PopulationConfig population = PopulationConfig::SingleClass(
+      static_cast<uint64_t>(config_.cluster.num_clients), total_rate_tps);
+  // The legacy entry point always expands to per-client actors: a
+  // threshold above the population size forces the expansion path,
+  // whose per-user arithmetic (rate spread, node ids, RNG streams) is
+  // byte-identical to the historical per-client loop.
+  population.aggregation_threshold =
+      static_cast<uint64_t>(config_.cluster.num_clients) + 1;
+  Status st = StartLoad(population, duration);
+  (void)st;  // cluster.num_clients >= 1 is enforced by Init()
+}
+
+Status FabricNetwork::StartLoad(
+    const PopulationConfig& population, SimTime duration,
+    std::vector<std::shared_ptr<WorkloadGenerator>> class_workloads) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("Init() must precede StartLoad()");
+  }
+  FABRICSIM_RETURN_NOT_OK(population.Validate());
+  if (!class_workloads.empty() &&
+      class_workloads.size() != population.classes.size()) {
+    return Status::InvalidArgument(
+        "class_workloads must be empty or one entry per behaviour class");
+  }
+  class_workloads_ = std::move(class_workloads);
+  if (ledger_stats_ != nullptr) {
+    ledger_stats_->set_window_end(env_->now() + duration);
+  }
+
   const int num_channels = this->num_channels();
-  double per_client = total_rate_tps / cluster.num_clients;
   int num_orderer_nodes =
       channels_[0].raft != nullptr ? channels_[0].raft->size() : 1;
   NodeId client_node_base =
       static_cast<NodeId>(num_orderer_nodes + static_cast<int>(peers_.size()));
-  for (int i = 0; i < cluster.num_clients; ++i) {
+
+  // Shared parameter assembly for both per-user clients and aggregated
+  // population actors. `actor_index` numbers every created actor in
+  // order (node ids stay dense); when every class expands it equals
+  // the legacy client index, so ids, node ids and affinity draws match
+  // the historical loop exactly.
+  auto make_params = [&](int actor_index, Rng rng, double rate_tps,
+                         WorkloadGenerator* workload,
+                         const ChannelAffinityConfig& affinity_config,
+                         const ClientRetryPolicy& retry) {
     Client::Params params;
-    params.id = i;
-    params.node = client_node_base + i;
+    params.id = actor_index;
+    params.node = client_node_base + actor_index;
     params.env = env_;
     params.net = net_.get();
-    params.workload = workload_.get();
+    params.workload = workload;
     params.policy = policy_.get();
     params.peers_by_org = peers_by_org_;
     params.orderer = channels_[0].orderer.get();
     params.orderer_node = 0;
     params.timing = config_.timing;
-    params.rng = env_->rng().Fork(4000 + static_cast<uint64_t>(i));
-    params.arrival_rate_tps = per_client;
+    params.rng = std::move(rng);
+    params.arrival_rate_tps = rate_tps;
     params.load_end_time = env_->now() + duration;
     params.submit_read_only = config_.submit_read_only;
     params.stats = &stats_;
     params.tx_id_counter = &tx_id_counter_;
-    params.retry = config_.retry;
+    params.retry = retry;
     if (num_channels > 1) {
-      params.affinity = ChannelAffinity(channel_affinity_, num_channels, i);
+      params.affinity =
+          ChannelAffinity(affinity_config, num_channels, actor_index);
       if (channels_[0].raft == nullptr) {
         for (ChannelRuntime& runtime : channels_) {
           params.channel_orderers.push_back(runtime.orderer.get());
         }
       }
     }
-    if (config_.retry.resubmit_on_mvcc) {
+    if (retry.resubmit_on_mvcc) {
       params.resubmit_registry = &resubmit_registry_;
     }
     if (channels_[0].raft != nullptr) {
@@ -425,9 +473,52 @@ void FabricNetwork::StartLoad(double total_rate_tps, SimTime duration) {
       params.orderer_ack_timeout = config_.ordering.client_ack_timeout;
       params.max_orderer_rebroadcasts = config_.ordering.max_client_rebroadcasts;
     }
-    clients_.push_back(std::make_unique<Client>(std::move(params)));
-    clients_.back()->Start();
+    return params;
+  };
+
+  int actor_index = 0;
+  // Expanded users consume the legacy per-client RNG id space
+  // (4000 + index, in creation order); aggregated classes draw from
+  // the disjoint 4700/4800 ranges so mixing both never collides.
+  uint64_t expanded_index = 0;
+  for (size_t ci = 0; ci < population.classes.size(); ++ci) {
+    const BehaviourClass& bc = population.classes[ci];
+    WorkloadGenerator* workload =
+        (ci < class_workloads_.size() && class_workloads_[ci] != nullptr)
+            ? class_workloads_[ci].get()
+            : workload_.get();
+    const ChannelAffinityConfig& affinity_config =
+        bc.affinity.has_value() ? *bc.affinity : channel_affinity_;
+    ClientRetryPolicy retry = bc.retry.has_value() ? *bc.retry : config_.retry;
+    if (bc.num_users < population.aggregation_threshold) {
+      for (uint64_t u = 0; u < bc.num_users; ++u) {
+        Client::Params params =
+            make_params(actor_index, env_->rng().Fork(4000 + expanded_index),
+                        bc.per_user_tps, workload, affinity_config, retry);
+        clients_.push_back(std::make_unique<Client>(std::move(params)));
+        clients_.back()->Start();
+        ++actor_index;
+        ++expanded_index;
+      }
+    } else {
+      // One actor stands in for the whole class: a superposed-Poisson
+      // (optionally Markov-modulated) arrival process driving one
+      // embedded Client through the full endorse/order/retry
+      // machinery. The client RNG and the arrival RNG are separate
+      // streams so arrival modulation never perturbs payload draws.
+      Client::Params params =
+          make_params(actor_index, env_->rng().Fork(4700 + ci),
+                      bc.aggregate_rate_tps(), workload, affinity_config,
+                      retry);
+      ArrivalProcess arrivals(bc.aggregate_rate_tps(), bc.mmpp,
+                              env_->rng().Fork(4800 + ci));
+      populations_.push_back(std::make_unique<ClientPopulation>(
+          std::move(params), std::move(arrivals)));
+      populations_.back()->Start();
+      ++actor_index;
+    }
   }
+  return Status::OK();
 }
 
 void FabricNetwork::RecordCommit(ChannelId channel, uint64_t block_number,
@@ -457,6 +548,12 @@ void FabricNetwork::RecordCommit(ChannelId channel, uint64_t block_number,
       resubmit_registry_.erase(rit);
       client->OnCommittedResult(block.txs[i].id, block.results[i].code);
     }
+  }
+  if (ledger_stats_ != nullptr) {
+    // Streaming mode: fold the block into the bounded aggregates and
+    // drop it — the BlockStore stays empty by design.
+    ledger_stats_->OnBlockCommitted(block);
+    return;
   }
   runtime.ledger.Append(std::move(block));
 }

@@ -17,6 +17,7 @@
 #include "src/fabric/network_config.h"
 #include "src/faults/fault_injector.h"
 #include "src/ledger/block_store.h"
+#include "src/ledger/ledger_stats.h"
 #include "src/obs/tracer.h"
 #include "src/ordering/orderer.h"
 #include "src/ordering/raft_group.h"
@@ -24,6 +25,7 @@
 #include "src/policy/endorsement_policy.h"
 #include "src/sim/environment.h"
 #include "src/sim/network.h"
+#include "src/workload/population/client_population.h"
 #include "src/workload/workload_generator.h"
 
 namespace fabricsim {
@@ -77,8 +79,22 @@ class FabricNetwork {
 
   /// Starts the open-loop clients: `total_rate_tps` combined arrival
   /// rate for `duration` of simulated time. Run the environment to
-  /// completion afterwards to drain the pipeline.
+  /// completion afterwards to drain the pipeline. Legacy entry point —
+  /// equivalent to a single-class population spread evenly over
+  /// cluster.num_clients, always expanded to per-client actors.
   void StartLoad(double total_rate_tps, SimTime duration);
+
+  /// Population-based load: one behaviour class at a time, expanded to
+  /// per-user Client actors below population.aggregation_threshold and
+  /// represented by one aggregated arrival-process actor (superposed
+  /// Poisson, optional MMPP modulation) at or above it. Small
+  /// populations are bitwise identical to the legacy per-client path.
+  /// `class_workloads[i]` overrides the network's workload for class i
+  /// (nullptr entries — or an empty vector — fall back to the shared
+  /// workload).
+  Status StartLoad(
+      const PopulationConfig& population, SimTime duration,
+      std::vector<std::shared_ptr<WorkloadGenerator>> class_workloads = {});
 
   int num_channels() const {
     return config_.num_channels < 1 ? 1 : config_.num_channels;
@@ -95,6 +111,13 @@ class FabricNetwork {
 
   const RunStats& stats() const { return stats_; }
   const FabricConfig& config() const { return config_; }
+
+  /// Streaming ledger aggregates; nullptr unless
+  /// config.streaming_ledger. When set, the BlockStore ledgers above
+  /// stay empty — commits fold here instead.
+  const StreamingLedgerStats* ledger_stats() const {
+    return ledger_stats_.get();
+  }
 
   /// Lifecycle tracer; nullptr unless config.tracing was set before
   /// Init(). When present it holds one TxTrace per generated
@@ -188,6 +211,11 @@ class FabricNetwork {
   /// it are destroyed first.
   std::unordered_map<TxId, Client*> resubmit_registry_;
   std::vector<std::unique_ptr<Client>> clients_;
+  /// Aggregated behaviour-class actors (population StartLoad only).
+  std::vector<std::unique_ptr<ClientPopulation>> populations_;
+  /// Keeps per-class workload generators alive for the actors above.
+  std::vector<std::shared_ptr<WorkloadGenerator>> class_workloads_;
+  std::unique_ptr<StreamingLedgerStats> ledger_stats_;
 
   /// Sized to num_channels() in Init(); stable addresses for the
   /// clients' ack sinks.

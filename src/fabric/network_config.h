@@ -204,6 +204,24 @@ struct FabricConfig {
   /// without the tracing subsystem.
   bool tracing = false;
 
+  /// Memory-bounded observability for long/large runs. With
+  /// streaming_obs the tracer keeps only the in-flight transaction
+  /// window: terminal events fold each trace into quantile sketches,
+  /// failure counters and a reservoir of failure exemplars, then drop
+  /// it. Implies a tracer even when `tracing` is false. Aggregate
+  /// counts match dense tracing exactly; the full per-transaction
+  /// export is replaced by the exemplar sample.
+  bool streaming_obs = false;
+
+  /// Fold the reference peer's commits into streaming per-channel
+  /// aggregates (StreamingLedgerStats) instead of retaining the
+  /// canonical BlockStore. Makes ledger memory O(channels) instead of
+  /// O(transactions) — the enabler for hour-long million-user runs.
+  /// Failure counts/throughput are exact; latency quantiles are
+  /// sketch-approximate. Incompatible with fault plans: the post-run
+  /// chain-integrity audit needs the retained ledger.
+  bool streaming_ledger = false;
+
   /// Streamchain: ledger/world state on a RAM disk (paper §5.3.3).
   bool streamchain_ram_disk = true;
 

@@ -29,35 +29,49 @@ std::vector<TxRecord> LedgerParser::Parse(const BlockStore& store) {
   return records;
 }
 
+void LedgerSummary::Count(const TxValidationResult& result) {
+  ++total;
+  switch (result.code) {
+    case TxValidationCode::kValid:
+      ++valid;
+      break;
+    case TxValidationCode::kEndorsementPolicyFailure:
+      ++endorsement_policy_failures;
+      break;
+    case TxValidationCode::kMvccReadConflict:
+      if (result.mvcc_class == MvccClass::kIntraBlock) {
+        ++mvcc_intra_block;
+      } else {
+        ++mvcc_inter_block;
+      }
+      break;
+    case TxValidationCode::kPhantomReadConflict:
+      ++phantom_read_conflicts;
+      break;
+    case TxValidationCode::kAbortedByReordering:
+      ++reordering_aborts;
+      break;
+    case TxValidationCode::kAbortedNotSerializable:
+    case TxValidationCode::kNotValidated:
+      break;
+  }
+}
+
+void LedgerSummary::Merge(const LedgerSummary& other) {
+  total += other.total;
+  valid += other.valid;
+  endorsement_policy_failures += other.endorsement_policy_failures;
+  mvcc_intra_block += other.mvcc_intra_block;
+  mvcc_inter_block += other.mvcc_inter_block;
+  phantom_read_conflicts += other.phantom_read_conflicts;
+  reordering_aborts += other.reordering_aborts;
+}
+
 LedgerSummary LedgerParser::Summarize(const BlockStore& store) {
   LedgerSummary s;
   for (const Block& block : store.blocks()) {
     for (const TxValidationResult& res : block.results) {
-      ++s.total;
-      switch (res.code) {
-        case TxValidationCode::kValid:
-          ++s.valid;
-          break;
-        case TxValidationCode::kEndorsementPolicyFailure:
-          ++s.endorsement_policy_failures;
-          break;
-        case TxValidationCode::kMvccReadConflict:
-          if (res.mvcc_class == MvccClass::kIntraBlock) {
-            ++s.mvcc_intra_block;
-          } else {
-            ++s.mvcc_inter_block;
-          }
-          break;
-        case TxValidationCode::kPhantomReadConflict:
-          ++s.phantom_read_conflicts;
-          break;
-        case TxValidationCode::kAbortedByReordering:
-          ++s.reordering_aborts;
-          break;
-        case TxValidationCode::kAbortedNotSerializable:
-        case TxValidationCode::kNotValidated:
-          break;
-      }
+      s.Count(res);
     }
   }
   return s;

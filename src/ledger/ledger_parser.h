@@ -44,6 +44,12 @@ struct LedgerSummary {
 
   uint64_t mvcc_total() const { return mvcc_intra_block + mvcc_inter_block; }
   uint64_t failed() const { return total - valid; }
+
+  /// Classifies one validation verdict into the counters — shared by
+  /// the post-run ledger parse and the streaming commit-time fold, so
+  /// both paths count identically by construction.
+  void Count(const TxValidationResult& result);
+  void Merge(const LedgerSummary& other);
 };
 
 /// Walks a block store and extracts per-transaction records and

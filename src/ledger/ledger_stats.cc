@@ -1,0 +1,39 @@
+#include "src/ledger/ledger_stats.h"
+
+namespace fabricsim {
+
+StreamingLedgerStats::StreamingLedgerStats(int num_channels)
+    : channels_(static_cast<size_t>(num_channels < 1 ? 1 : num_channels)) {}
+
+void StreamingLedgerStats::OnBlockCommitted(const Block& block) {
+  ChannelAgg& agg = channels_[static_cast<size_t>(block.channel)];
+  ++blocks_committed_;
+  // Same gap definition as the dense report: consecutive cut times on
+  // one channel's chain (blocks commit in order per channel).
+  if (agg.prev_cut != kSimTimeNever && block.cut_time > agg.prev_cut) {
+    double gap = ToSeconds(block.cut_time - agg.prev_cut);
+    if (gap > max_interblock_gap_s_) max_interblock_gap_s_ = gap;
+  }
+  agg.prev_cut = block.cut_time;
+  for (size_t i = 0; i < block.txs.size(); ++i) {
+    const Transaction& tx = block.txs[i];
+    const TxValidationResult& res = block.results[i];
+    agg.summary.Count(res);
+    total_.Count(res);
+    latency_ms_.Add(ToMillis(tx.committed_time - tx.client_submit_time));
+    if (tx.committed_time <= window_end_) ++agg.committed_in_window;
+  }
+}
+
+uint64_t StreamingLedgerStats::committed_in_window() const {
+  uint64_t n = 0;
+  for (const ChannelAgg& agg : channels_) n += agg.committed_in_window;
+  return n;
+}
+
+size_t StreamingLedgerStats::ApproxMemoryBytes() const {
+  return sizeof(*this) + channels_.capacity() * sizeof(ChannelAgg) +
+         latency_ms_.ApproxMemoryBytes();
+}
+
+}  // namespace fabricsim

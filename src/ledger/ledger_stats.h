@@ -1,0 +1,78 @@
+#ifndef FABRICSIM_LEDGER_LEDGER_STATS_H_
+#define FABRICSIM_LEDGER_LEDGER_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/stats.h"
+#include "src/ledger/block.h"
+#include "src/ledger/ledger_parser.h"
+
+namespace fabricsim {
+
+/// Streaming replacement for the canonical BlockStore + post-run
+/// LedgerParser pass: every committed block is folded into per-channel
+/// failure counts, a latency quantile sketch, in-window commit counts
+/// and interblock-gap tracking at commit time, then dropped. Memory is
+/// O(channels + sketch buckets) — independent of how many transactions
+/// the run commits — which is what lets hour-long 10^4 tps simulations
+/// keep flat observability memory. The per-tx classification is the
+/// exact LedgerSummary::Count the parser uses, so counts match the
+/// dense path bit-for-bit; only latency quantiles are sketch-
+/// approximate (within QuantileSketch::kRelativeError).
+class StreamingLedgerStats {
+ public:
+  explicit StreamingLedgerStats(int num_channels);
+
+  /// End of the load window for the committed-throughput count (the
+  /// paper only counts commits inside the load phase). Set by
+  /// StartLoad before the first block can commit.
+  void set_window_end(SimTime window_end) { window_end_ = window_end; }
+
+  /// Folds one reference-peer-committed block (results + committed
+  /// times filled in) into the aggregates.
+  void OnBlockCommitted(const Block& block);
+
+  /// Aggregate failure counts across all channels.
+  const LedgerSummary& summary() const { return total_; }
+  const LedgerSummary& channel_summary(ChannelId channel) const {
+    return channels_[static_cast<size_t>(channel)].summary;
+  }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+
+  /// End-to-end latency over all ledger transactions, in milliseconds.
+  const QuantileSketch& latency_ms() const { return latency_ms_; }
+
+  uint64_t committed_in_window() const;
+  uint64_t committed_in_window(ChannelId channel) const {
+    return channels_[static_cast<size_t>(channel)].committed_in_window;
+  }
+
+  /// Widest silence between consecutive block cuts on any channel, in
+  /// seconds (the ordering-availability proxy of the dense report).
+  double max_interblock_gap_s() const { return max_interblock_gap_s_; }
+
+  uint64_t blocks_committed() const { return blocks_committed_; }
+
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct ChannelAgg {
+    LedgerSummary summary;
+    uint64_t committed_in_window = 0;
+    SimTime prev_cut = kSimTimeNever;
+  };
+
+  std::vector<ChannelAgg> channels_;
+  LedgerSummary total_;
+  QuantileSketch latency_ms_;
+  double max_interblock_gap_s_ = 0.0;
+  uint64_t blocks_committed_ = 0;
+  SimTime window_end_ = kSimTimeNever;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_LEDGER_LEDGER_STATS_H_

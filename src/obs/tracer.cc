@@ -8,6 +8,13 @@
 
 namespace fabricsim {
 
+Tracer::Tracer(const TracerOptions& options)
+    : streaming_(options.streaming),
+      exemplars_(options.streaming ? options.exemplar_capacity : 0,
+                 options.exemplar_seed) {
+  if (!streaming_) traces_.reserve(4096);
+}
+
 void Tracer::OnEarlyAbort(TxId id, TxValidationCode code, SimTime now) {
   (void)now;
   TxTrace& trace = Touch(id);
@@ -16,6 +23,10 @@ void Tracer::OnEarlyAbort(TxId id, TxValidationCode code, SimTime now) {
   auto failure = std::make_unique<FailureAttribution>();
   failure->code = code;
   trace.failure = std::move(failure);
+  if (streaming_) {
+    FoldTerminal(id);
+    return;
+  }
   aggregates_dirty_ = true;
 }
 
@@ -40,11 +51,66 @@ void Tracer::OnCommit(TxId id, uint64_t block_number, uint32_t tx_index,
     failure->block_number = block_number;
     trace.failure = std::move(failure);
   }
+  if (streaming_) {
+    FoldTerminal(id);
+    return;
+  }
   aggregates_dirty_ = true;
 }
 
+void Tracer::CountIntoChannel(const TxTrace& trace) {
+  if (trace.channel < 0) return;
+  size_t c = static_cast<size_t>(trace.channel);
+  if (c >= channel_counts_.size()) channel_counts_.resize(c + 1);
+  ChannelCounts& counts = channel_counts_[c];
+  if (trace.terminal == TraceTerminal::kLedger) {
+    ++counts.ledger;
+    switch (trace.final_code) {
+      case TxValidationCode::kValid:
+        ++counts.valid;
+        break;
+      case TxValidationCode::kEndorsementPolicyFailure:
+        ++counts.endorse;
+        break;
+      case TxValidationCode::kMvccReadConflict:
+        ++counts.mvcc;
+        break;
+      case TxValidationCode::kPhantomReadConflict:
+        ++counts.phantom;
+        break;
+      default:
+        break;
+    }
+  } else if (trace.terminal == TraceTerminal::kEarlyAborted) {
+    ++counts.early_abort;
+  }
+}
+
+void Tracer::FoldTerminal(TxId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  TxTrace& trace = it->second;
+  if (trace.terminal == TraceTerminal::kLedger) {
+    ++failure_counts_[trace.final_code];
+    phases_.endorse.Add(ToMillis(trace.EndorsePhase()));
+    phases_.ordering.Add(ToMillis(trace.OrderingPhase()));
+    phases_.commit.Add(ToMillis(trace.CommitPhase()));
+    phases_.total.Add(ToMillis(trace.TotalLatency()));
+  } else if (trace.terminal == TraceTerminal::kEarlyAborted) {
+    ++failure_counts_[trace.final_code];
+  }
+  CountIntoChannel(trace);
+  if (trace.failure != nullptr) {
+    if (!trace.failure->conflicting_key.empty()) {
+      ++conflict_key_counts_[trace.failure->conflicting_key];
+    }
+    exemplars_.Offer(std::move(trace));
+  }
+  live_.erase(it);
+}
+
 void Tracer::RebuildAggregates() const {
-  phases_ = PhaseHistograms();
+  phases_ = PhaseSketches();
   failure_counts_.clear();
   for (const TxTrace& trace : traces_) {
     if (trace.id == 0) continue;
@@ -63,18 +129,30 @@ void Tracer::RebuildAggregates() const {
 
 void Tracer::OnPeerCommit(PeerId peer, ChannelId channel,
                           uint64_t block_number, SimTime now) {
+  if (streaming_) return;
   peer_commits_[{channel, block_number, peer}] = now;
 }
 
 const TxTrace* Tracer::Find(TxId id) const {
+  if (streaming_) {
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : &it->second;
+  }
   if (id == 0 || id >= traces_.size()) return nullptr;
   const TxTrace& trace = traces_[id];
   return trace.id == id ? &trace : nullptr;
 }
 
 std::vector<const TxTrace*> Tracer::SortedTraces() const {
-  // traces_ is indexed by id, so a linear scan is already id-ordered.
   std::vector<const TxTrace*> sorted;
+  if (streaming_) {
+    sorted.reserve(exemplars_.items().size());
+    for (const TxTrace& trace : exemplars_.items()) sorted.push_back(&trace);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TxTrace* a, const TxTrace* b) { return a->id < b->id; });
+    return sorted;
+  }
+  // traces_ is indexed by id, so a linear scan is already id-ordered.
   sorted.reserve(size_);
   for (const TxTrace& trace : traces_) {
     if (trace.id != 0) sorted.push_back(&trace);
@@ -85,10 +163,14 @@ std::vector<const TxTrace*> Tracer::SortedTraces() const {
 std::vector<std::pair<std::string, uint64_t>> Tracer::TopConflictingKeys(
     size_t limit) const {
   std::map<std::string, uint64_t> counts;
-  for (const TxTrace& trace : traces_) {
-    if (trace.id != 0 && trace.failure != nullptr &&
-        !trace.failure->conflicting_key.empty()) {
-      ++counts[trace.failure->conflicting_key];
+  if (streaming_) {
+    counts = conflict_key_counts_;
+  } else {
+    for (const TxTrace& trace : traces_) {
+      if (trace.id != 0 && trace.failure != nullptr &&
+          !trace.failure->conflicting_key.empty()) {
+        ++counts[trace.failure->conflicting_key];
+      }
     }
   }
   std::vector<std::pair<std::string, uint64_t>> ranked(counts.begin(),
@@ -101,12 +183,59 @@ std::vector<std::pair<std::string, uint64_t>> Tracer::TopConflictingKeys(
   return ranked;
 }
 
+size_t Tracer::ApproxMemoryBytes() const {
+  // Per-trace cost: the slot plus a typical 4-endorser span vector and
+  // the occasional failure record (counted for every slot — this is an
+  // upper-bound estimate, not an allocator audit).
+  constexpr size_t kPerTrace =
+      sizeof(TxTrace) + 4 * sizeof(EndorserSpan) + sizeof(FailureAttribution);
+  size_t bytes = sizeof(*this);
+  if (streaming_) {
+    bytes += live_.size() * (kPerTrace + 4 * sizeof(void*));
+    bytes += exemplars_.items().capacity() * kPerTrace;
+    bytes += channel_counts_.capacity() * sizeof(ChannelCounts);
+    for (const auto& [key, count] : conflict_key_counts_) {
+      (void)count;
+      bytes += key.capacity() + sizeof(uint64_t) + 4 * sizeof(void*);
+    }
+  } else {
+    bytes += traces_.capacity() * sizeof(TxTrace);
+    bytes += size_ * (4 * sizeof(EndorserSpan));
+    bytes += peer_commits_.size() *
+             (sizeof(std::tuple<ChannelId, uint64_t, PeerId>) +
+              sizeof(SimTime) + 4 * sizeof(void*));
+  }
+  bytes += phases_.ApproxMemoryBytes();
+  bytes += fault_events_.capacity() * sizeof(FaultEventRow);
+  bytes += raft_events_.capacity() * sizeof(RaftEventRow);
+  for (const auto& [code, count] : failure_counts_) {
+    (void)code;
+    (void)count;
+    bytes += sizeof(TxValidationCode) + sizeof(uint64_t) + 4 * sizeof(void*);
+  }
+  return bytes;
+}
+
 std::string Tracer::ExportJsonl(const std::string& config_echo) const {
   VersionedJsonWriter writer("fabricsim.trace",
                              VersionedJsonWriter::Format::kJsonl);
   writer.set_config_echo(config_echo);
   if (num_channels_ > 1) {
     writer.set_schema_version(kObsSchemaVersionChannels);
+  }
+  if (streaming_) {
+    // The full per-transaction body is gone (that is the point); the
+    // export leads with the bounded roll-up, then the sampled failure
+    // exemplars as ordinary transaction rows.
+    const PhaseSketches& sketches = phases();
+    writer.AddRow(StrFormat(
+        "{\"type\": \"streaming_summary\", \"txs_observed\": %zu, "
+        "\"in_flight\": %zu, \"failures_seen\": %llu, \"exemplars\": %zu, "
+        "\"total_p50_ms\": %.3f, \"total_p99_ms\": %.3f}",
+        size_, live_.size(),
+        static_cast<unsigned long long>(exemplars_.seen()),
+        exemplars_.items().size(), sketches.total.Percentile(0.5),
+        sketches.total.Percentile(0.99)));
   }
   for (const TxTrace* trace : SortedTraces()) {
     writer.AddRow(trace->ToJson());
@@ -139,39 +268,43 @@ std::string Tracer::ExportJsonl(const std::string& config_echo) const {
   // failure-class roll-up sliced by shard (schema version 2 only, so
   // single-channel exports stay byte-identical to version 1).
   if (num_channels_ > 1) {
-    struct ChannelCounts {
-      uint64_t ledger = 0, valid = 0, endorse = 0, mvcc = 0, phantom = 0,
-               early_abort = 0;
-    };
     std::vector<ChannelCounts> per_channel(
         static_cast<size_t>(num_channels_));
-    for (const TxTrace& trace : traces_) {
-      if (trace.id == 0) continue;
-      if (trace.channel < 0 ||
-          static_cast<size_t>(trace.channel) >= per_channel.size()) {
-        continue;
+    if (streaming_) {
+      for (size_t c = 0; c < channel_counts_.size() && c < per_channel.size();
+           ++c) {
+        per_channel[c] = channel_counts_[c];
       }
-      ChannelCounts& counts = per_channel[static_cast<size_t>(trace.channel)];
-      if (trace.terminal == TraceTerminal::kLedger) {
-        ++counts.ledger;
-        switch (trace.final_code) {
-          case TxValidationCode::kValid:
-            ++counts.valid;
-            break;
-          case TxValidationCode::kEndorsementPolicyFailure:
-            ++counts.endorse;
-            break;
-          case TxValidationCode::kMvccReadConflict:
-            ++counts.mvcc;
-            break;
-          case TxValidationCode::kPhantomReadConflict:
-            ++counts.phantom;
-            break;
-          default:
-            break;
+    } else {
+      for (const TxTrace& trace : traces_) {
+        if (trace.id == 0) continue;
+        if (trace.channel < 0 ||
+            static_cast<size_t>(trace.channel) >= per_channel.size()) {
+          continue;
         }
-      } else if (trace.terminal == TraceTerminal::kEarlyAborted) {
-        ++counts.early_abort;
+        ChannelCounts& counts =
+            per_channel[static_cast<size_t>(trace.channel)];
+        if (trace.terminal == TraceTerminal::kLedger) {
+          ++counts.ledger;
+          switch (trace.final_code) {
+            case TxValidationCode::kValid:
+              ++counts.valid;
+              break;
+            case TxValidationCode::kEndorsementPolicyFailure:
+              ++counts.endorse;
+              break;
+            case TxValidationCode::kMvccReadConflict:
+              ++counts.mvcc;
+              break;
+            case TxValidationCode::kPhantomReadConflict:
+              ++counts.phantom;
+              break;
+            default:
+              break;
+          }
+        } else if (trace.terminal == TraceTerminal::kEarlyAborted) {
+          ++counts.early_abort;
+        }
       }
     }
     for (size_t c = 0; c < per_channel.size(); ++c) {

@@ -1,25 +1,55 @@
 #ifndef FABRICSIM_OBS_TRACER_H_
 #define FABRICSIM_OBS_TRACER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/reservoir.h"
 #include "src/common/stats.h"
 #include "src/obs/trace.h"
 
 namespace fabricsim {
 
-/// Aggregate per-phase latency sinks over ledger transactions.
-/// Histograms are in milliseconds.
-struct PhaseHistograms {
-  Histogram endorse;   ///< client submit -> all endorsements collected
-  Histogram ordering;  ///< endorsed -> block cut
-  Histogram commit;    ///< block cut -> committed on the reference peer
-  Histogram total;     ///< end-to-end
+/// Aggregate per-phase latency sinks over ledger transactions, held as
+/// mergeable quantile sketches (milliseconds). Sketch state is a pure
+/// function of the multiset of added values, so aggregates are
+/// identical whether they were folded in streaming or rebuilt from
+/// dense traces.
+struct PhaseSketches {
+  QuantileSketch endorse;   ///< client submit -> all endorsements collected
+  QuantileSketch ordering;  ///< endorsed -> block cut
+  QuantileSketch commit;    ///< block cut -> committed on the reference peer
+  QuantileSketch total;     ///< end-to-end
+
+  size_t ApproxMemoryBytes() const {
+    return endorse.ApproxMemoryBytes() + ordering.ApproxMemoryBytes() +
+           commit.ApproxMemoryBytes() + total.ApproxMemoryBytes();
+  }
+};
+
+/// How the tracer stores what it observes.
+struct TracerOptions {
+  /// Dense mode (default) keeps every span of every transaction — the
+  /// full-fidelity export the analysis tools consume, with memory
+  /// linear in transaction count. Streaming mode keeps only the
+  /// in-flight window: terminal events fold the trace into bounded
+  /// aggregates (phase sketches, failure counters, conflict-key
+  /// counts, per-channel roll-ups) plus a reservoir of failure
+  /// exemplars, then drop it — memory stays flat no matter how long
+  /// the run is.
+  bool streaming = false;
+  /// Failure exemplars retained in streaming mode (reservoir-sampled
+  /// uniformly over all failed transactions).
+  size_t exemplar_capacity = 32;
+  /// Seed of the reservoir's private RNG. Never touches simulation
+  /// streams, so toggling exemplars cannot perturb a run.
+  uint64_t exemplar_seed = 0x0b5e;
 };
 
 /// Records per-transaction lifecycle traces from the DES actors. The
@@ -28,10 +58,13 @@ struct PhaseHistograms {
 /// disabled path costs one predictable branch and the simulated
 /// behaviour (event order, RNG draws, timestamps) is identical either
 /// way: the tracer only observes, it never schedules events or draws
-/// randomness.
+/// randomness (the exemplar reservoir has its own RNG).
 class Tracer {
  public:
-  Tracer() { traces_.reserve(4096); }
+  Tracer() : Tracer(TracerOptions()) {}
+  explicit Tracer(const TracerOptions& options);
+
+  bool streaming() const { return streaming_; }
 
   // --- recording hooks (called by client/ordering/peer/fabric) -------
   // The per-event hooks on the DES hot path are defined inline: after
@@ -71,10 +104,12 @@ class Tracer {
     trace.endorsed = now;
   }
   /// Client-side drop: app error, read-only skip, no endorsers, or
-  /// endorsement-retry exhaustion.
+  /// endorsement-retry exhaustion. Terminal — in streaming mode the
+  /// trace is folded and released here.
   void OnClientDrop(TxId id, TraceTerminal reason, SimTime now) {
     (void)now;
     Touch(id).terminal = reason;
+    if (streaming_) FoldTerminal(id);
   }
   /// The client re-proposed after an endorsement timeout; `attempt` is
   /// the new (1-based) retry round.
@@ -82,10 +117,18 @@ class Tracer {
     (void)now;
     Touch(id).retries = attempt;
   }
-  /// An MVCC-failed transaction was resubmitted as `new_id`.
+  /// An MVCC-failed transaction was resubmitted as `new_id`. The
+  /// failed transaction is already terminal (RecordCommit folds before
+  /// the resubmit delivery fires), so streaming mode must not Touch()
+  /// it back into existence — the back-link is best-effort there.
   void OnResubmit(TxId failed_id, TxId new_id, SimTime now) {
     (void)now;
-    Touch(failed_id).resubmitted_as = new_id;
+    if (streaming_) {
+      auto it = live_.find(failed_id);
+      if (it != live_.end()) it->second.resubmitted_as = new_id;
+    } else {
+      Touch(failed_id).resubmitted_as = new_id;
+    }
     Touch(new_id).resubmit_of = failed_id;
   }
   /// A fault transition fired (peer crash/restart, orderer
@@ -118,7 +161,8 @@ class Tracer {
                 const TxValidationResult& result, SimTime now);
   /// Block commit completion on any peer (commit-skew observability).
   /// Block numbers are dense per channel, so the channel is part of
-  /// the block identity.
+  /// the block identity. Not recorded in streaming mode: the
+  /// (channel, block, peer) map grows with run length.
   void OnPeerCommit(PeerId peer, ChannelId channel, uint64_t block_number,
                     SimTime now);
 
@@ -132,30 +176,46 @@ class Tracer {
   int num_channels() const { return num_channels_; }
 
   // --- queries -------------------------------------------------------
+  /// Transactions observed (ever touched) — not bounded by what is
+  /// still stored in streaming mode.
   size_t size() const { return size_; }
+  /// Transactions currently held in memory: all of them in dense mode,
+  /// only the in-flight window in streaming mode.
+  size_t stored_traces() const {
+    return streaming_ ? live_.size() : size_;
+  }
+  /// Dense mode: any observed trace. Streaming mode: in-flight traces
+  /// only (terminal ones have been folded and released).
   const TxTrace* Find(TxId id) const;
-  /// All traces ordered by transaction id (deterministic).
+  /// Dense mode: all traces ordered by transaction id. Streaming mode:
+  /// the retained failure exemplars, id-ordered. Deterministic.
   std::vector<const TxTrace*> SortedTraces() const;
-  /// Per-phase latency histograms over ledger transactions. Computed
-  /// lazily from the recorded traces: the hot-path hooks only record
-  /// raw spans, aggregation happens at query time.
-  const PhaseHistograms& phases() const {
+  /// Per-phase latency sketches over ledger transactions. Dense mode
+  /// computes them lazily from the recorded traces (the hot-path hooks
+  /// only record raw spans); streaming mode maintains them eagerly at
+  /// terminal events. Both fold the same values in the same (id-dense
+  /// commit) order, so the sketches agree bit-for-bit.
+  const PhaseSketches& phases() const {
     if (aggregates_dirty_) RebuildAggregates();
     return phases_;
   }
   /// Failure-class counters over ledger + early-aborted transactions.
-  /// Lazily derived from the traces, like phases().
+  /// Lazily derived in dense mode, eagerly maintained in streaming.
   const std::map<TxValidationCode, uint64_t>& failure_counts() const {
     if (aggregates_dirty_) RebuildAggregates();
     return failure_counts_;
   }
   /// Per-peer commit time of each block, in (channel, block, peer)
   /// order. Single-channel runs use channel 0, preserving the legacy
-  /// (block, peer) iteration order.
+  /// (block, peer) iteration order. Always empty in streaming mode.
   const std::map<std::tuple<ChannelId, uint64_t, PeerId>, SimTime>&
   peer_commits() const {
     return peer_commits_;
   }
+  /// Failure exemplars retained by the streaming reservoir (empty in
+  /// dense mode — there, every trace is already stored).
+  const std::vector<TxTrace>& exemplars() const { return exemplars_.items(); }
+  uint64_t failures_offered_to_reservoir() const { return exemplars_.seen(); }
   /// Fault transitions observed, in simulated-time order.
   struct FaultEventRow {
     const char* kind;
@@ -180,13 +240,36 @@ class Tracer {
   std::vector<std::pair<std::string, uint64_t>> TopConflictingKeys(
       size_t limit) const;
 
+  /// Bytes of trace storage currently held (slots, spans, aggregate
+  /// sketches, reservoir, event logs). An estimate — container
+  /// bookkeeping is approximated — but faithful to growth: dense mode
+  /// grows linearly with transactions, streaming mode stays flat.
+  size_t ApproxMemoryBytes() const;
+
   /// Renders the whole trace as JSONL: a versioned header line, one
   /// row per transaction (sorted by id), then one row per (block,
-  /// peer) commit. `config_echo` is echoed in the header.
+  /// peer) commit. `config_echo` is echoed in the header. Streaming
+  /// exports replace the full per-transaction body with one
+  /// streaming_summary row plus the exemplar rows.
   std::string ExportJsonl(const std::string& config_echo) const;
 
  private:
+  /// Per-channel failure roll-up (multi-channel exports; maintained
+  /// eagerly in streaming mode, derived from traces in dense mode).
+  struct ChannelCounts {
+    uint64_t ledger = 0, valid = 0, endorse = 0, mvcc = 0, phantom = 0,
+             early_abort = 0;
+  };
+
   TxTrace& Touch(TxId id) {
+    if (streaming_) {
+      TxTrace& trace = live_[id];
+      if (trace.id == 0 && id != 0) {
+        trace.id = id;
+        ++size_;
+      }
+      return trace;
+    }
     if (id >= traces_.size()) traces_.resize(id + 1);
     TxTrace& trace = traces_[id];
     if (trace.id == 0 && id != 0) {
@@ -196,26 +279,41 @@ class Tracer {
     return trace;
   }
 
+  /// Streaming mode: folds a terminal trace into the aggregates (and
+  /// the failure reservoir) and releases its live_ slot.
+  void FoldTerminal(TxId id);
+  void CountIntoChannel(const TxTrace& trace);
+
   /// Transaction ids are a dense counter starting at 1 (see
-  /// Client::Submit), so traces are stored in a vector indexed by id —
-  /// every hook is an array index instead of a hash lookup, and
-  /// iteration is already in id order. Slot 0 and any gap slots stay
-  /// default-constructed (id == 0) and are skipped by the queries.
-  /// Recomputes phases_ and failure_counts_ from traces_. Scans in id
-  /// order, so the result is deterministic.
+  /// Client::Submit), so dense-mode traces are stored in a vector
+  /// indexed by id — every hook is an array index instead of a hash
+  /// lookup, and iteration is already in id order. Slot 0 and any gap
+  /// slots stay default-constructed (id == 0) and are skipped by the
+  /// queries. Streaming mode keeps only in-flight traces, keyed by id
+  /// in live_.
+  /// Recomputes phases_ and failure_counts_ from traces_ (dense mode
+  /// only). Scans in id order, so the result is deterministic.
   void RebuildAggregates() const;
 
-  std::vector<TxTrace> traces_;
-  size_t size_ = 0;  ///< number of touched (non-default) slots
+  const bool streaming_;
+  std::vector<TxTrace> traces_;           ///< dense mode storage
+  std::unordered_map<TxId, TxTrace> live_;  ///< streaming in-flight window
+  size_t size_ = 0;  ///< number of transactions ever observed
   std::map<std::tuple<ChannelId, uint64_t, PeerId>, SimTime> peer_commits_;
   std::vector<FaultEventRow> fault_events_;
   std::vector<RaftEventRow> raft_events_;
   int num_channels_ = 1;
-  /// Aggregates are caches over traces_, rebuilt on demand — keeping
-  /// histogram/map updates off the per-commit hot path.
+  ReservoirSampler<TxTrace> exemplars_;
+  /// Streaming-only eager aggregates (always empty in dense mode,
+  /// which derives them from traces_ on demand instead).
+  std::vector<ChannelCounts> channel_counts_;
+  std::map<std::string, uint64_t> conflict_key_counts_;
+  /// Dense mode: caches over traces_, rebuilt on demand — keeping
+  /// sketch/map updates off the per-commit hot path. Streaming mode:
+  /// maintained eagerly (aggregates_dirty_ stays false).
   mutable bool aggregates_dirty_ = false;
   mutable std::map<TxValidationCode, uint64_t> failure_counts_;
-  mutable PhaseHistograms phases_;
+  mutable PhaseSketches phases_;
 };
 
 }  // namespace fabricsim

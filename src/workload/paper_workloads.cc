@@ -288,25 +288,29 @@ std::unique_ptr<WorkloadGenerator> MakeGenWorkload(
                        return Invocation{
                            "readKeys", {GenChaincode::Key(keys->Sample(rng))}};
                      }});
-  entries.push_back({weight(WorkloadMix::kInsertHeavy), [state](Rng&) {
-                       return Invocation{
-                           "insertKeys",
-                           {GenChaincode::Key(state->insert_seq++)}};
-                     }});
+  if (config.genchain_mutations) {
+    entries.push_back({weight(WorkloadMix::kInsertHeavy), [state](Rng&) {
+                         return Invocation{
+                             "insertKeys",
+                             {GenChaincode::Key(state->insert_seq++)}};
+                       }});
+  }
   entries.push_back({weight(WorkloadMix::kUpdateHeavy), [keys](Rng& rng) {
                        return Invocation{
                            "updateKeys",
                            {GenChaincode::Key(keys->Sample(rng))}};
                      }});
-  entries.push_back({weight(WorkloadMix::kDeleteHeavy), [state](Rng&) {
-                       // Unique, previously untouched keys from the top
-                       // of the bootstrapped range downwards.
-                       uint64_t key = state->delete_cursor > 0
-                                          ? --state->delete_cursor
-                                          : 0;
-                       return Invocation{"deleteKeys",
-                                         {GenChaincode::Key(key)}};
-                     }});
+  if (config.genchain_mutations) {
+    entries.push_back({weight(WorkloadMix::kDeleteHeavy), [state](Rng&) {
+                         // Unique, previously untouched keys from the
+                         // top of the bootstrapped range downwards.
+                         uint64_t key = state->delete_cursor > 0
+                                            ? --state->delete_cursor
+                                            : 0;
+                         return Invocation{"deleteKeys",
+                                           {GenChaincode::Key(key)}};
+                       }});
+  }
   if (config.include_range_reads) {
     entries.push_back(
         {weight(WorkloadMix::kRangeHeavy), [keys, range_sizes, n](Rng& rng) {

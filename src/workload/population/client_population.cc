@@ -1,0 +1,15 @@
+#include "src/workload/population/client_population.h"
+
+namespace fabricsim {
+
+void ClientPopulation::ScheduleNext() {
+  SimTime gap = arrivals_.NextGap();
+  if (gap == kSimTimeNever) return;  // silent class: no arrivals ever
+  env_->Schedule(gap, [this]() {
+    if (env_->now() > load_end_time_) return;  // load phase over
+    client_.SubmitNow();
+    ScheduleNext();
+  });
+}
+
+}  // namespace fabricsim

@@ -1,0 +1,46 @@
+#ifndef FABRICSIM_WORKLOAD_POPULATION_CLIENT_POPULATION_H_
+#define FABRICSIM_WORKLOAD_POPULATION_CLIENT_POPULATION_H_
+
+#include <utility>
+
+#include "src/client/client.h"
+#include "src/workload/population/population.h"
+
+namespace fabricsim {
+
+/// Aggregated submission engine for one large behaviour class: a
+/// single DES actor owning (a) the class's ArrivalProcess and (b) one
+/// embedded Client that carries the class's retry policy, channel
+/// affinity and workload mix. Each arrival event injects exactly one
+/// transaction through Client::SubmitNow(), so the full endorsement /
+/// ordering / retry / resubmission machinery is shared with the
+/// per-actor path — only the arrival bookkeeping is aggregated. At any
+/// instant the class costs one pending arrival event plus its
+/// in-flight transactions, independent of num_users.
+class ClientPopulation {
+ public:
+  /// `client_params.arrival_rate_tps` is ignored (the arrival process
+  /// owns the clock); `client_params.load_end_time` bounds arrivals.
+  ClientPopulation(Client::Params client_params, ArrivalProcess arrivals)
+      : env_(client_params.env),
+        load_end_time_(client_params.load_end_time),
+        client_(std::move(client_params)),
+        arrivals_(std::move(arrivals)) {}
+
+  /// Schedules the first arrival.
+  void Start() { ScheduleNext(); }
+
+  Client& client() { return client_; }
+
+ private:
+  void ScheduleNext();
+
+  Environment* env_;
+  SimTime load_end_time_;
+  Client client_;
+  ArrivalProcess arrivals_;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_POPULATION_CLIENT_POPULATION_H_

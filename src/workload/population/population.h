@@ -1,0 +1,134 @@
+#ifndef FABRICSIM_WORKLOAD_POPULATION_POPULATION_H_
+#define FABRICSIM_WORKLOAD_POPULATION_POPULATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/channels/channel_types.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/fabric/network_config.h"
+#include "src/workload/workload_spec.h"
+
+namespace fabricsim {
+
+/// One state of a Markov-modulated Poisson process: while the chain
+/// sits in this state, the class's aggregate arrival rate is scaled by
+/// `rate_multiplier`; the sojourn is exponential with mean
+/// `mean_sojourn`.
+struct MmppState {
+  double rate_multiplier = 1.0;
+  SimTime mean_sojourn = 10 * kSecond;
+};
+
+/// Optional burstiness model for a behaviour class. Fewer than two
+/// states means plain (unmodulated) Poisson arrivals. State
+/// transitions pick uniformly among the other states, giving the
+/// classic on/off (IPP) process for two states and a symmetric MMPP
+/// beyond that.
+struct MmppConfig {
+  std::vector<MmppState> states;
+
+  bool enabled() const { return states.size() >= 2; }
+
+  /// Sojourn-weighted mean of the rate multipliers — the long-run
+  /// effective rate scale of the modulated process (stationary
+  /// distribution of the symmetric chain is sojourn-proportional).
+  double MeanMultiplier() const;
+
+  /// Two-state on/off burst model: `burst_multiplier` x rate for
+  /// `burst_len` out of every `burst_len + quiet_len` (on average).
+  static MmppConfig OnOff(double burst_multiplier, SimTime burst_len,
+                          SimTime quiet_len) {
+    MmppConfig config;
+    config.states.push_back(MmppState{burst_multiplier, burst_len});
+    config.states.push_back(MmppState{0.0, quiet_len});
+    return config;
+  }
+};
+
+/// One behaviour class of the client population: `num_users` open-loop
+/// users, each submitting at `per_user_tps`, sharing a retry policy,
+/// channel affinity, and chaincode function mix. Small classes expand
+/// into per-client `Client` actors (bitwise identical to the legacy
+/// path); classes at or above PopulationConfig::aggregation_threshold
+/// run as ONE aggregated arrival process — the superposition of N
+/// independent Poisson processes is Poisson at N x per_user_tps, so
+/// the aggregate schedules arrivals, not clients, and a million users
+/// cost one pending event instead of a million.
+struct BehaviourClass {
+  std::string name = "default";
+  uint64_t num_users = 0;
+  double per_user_tps = 0.0;
+  /// Per-class retry/resubmission policy; unset inherits the network
+  /// config's policy (exactly what the legacy path applied).
+  std::optional<ClientRetryPolicy> retry;
+  /// Per-class channel affinity; unset inherits the network's
+  /// affinity config.
+  std::optional<ChannelAffinityConfig> affinity;
+  /// Per-class chaincode function mix on the same chaincode/key space;
+  /// unset shares the run's workload generator.
+  std::optional<WorkloadMix> mix;
+  /// Optional MMPP modulation of the class's aggregate rate.
+  MmppConfig mmpp;
+
+  double aggregate_rate_tps() const {
+    return per_user_tps * static_cast<double>(num_users);
+  }
+};
+
+/// Declarative description of the whole client population. Empty
+/// classes == legacy mode (the flat `arrival_rate_tps` knob spread
+/// over cluster.num_clients per-actor clients).
+struct PopulationConfig {
+  std::vector<BehaviourClass> classes;
+  /// Classes with at least this many users run aggregated; below it
+  /// they expand into per-client actors. The default keeps every
+  /// paper-scale config (5-25 clients) on the bitwise-identical
+  /// per-actor path.
+  uint64_t aggregation_threshold = 64;
+
+  bool empty() const { return classes.empty(); }
+  uint64_t TotalUsers() const;
+  double TotalRateTps() const;
+  Status Validate() const;
+
+  /// Single Poisson class covering `num_users` identical users.
+  static PopulationConfig SingleClass(uint64_t num_users,
+                                      double total_rate_tps,
+                                      std::string name = "default");
+};
+
+/// Samples interarrival gaps of one behaviour class's aggregate
+/// process: superposed Poisson at rate `rate_tps`, optionally
+/// modulated by an MMPP whose piecewise-constant rate is integrated
+/// exactly (memorylessness lets each segment redraw). Gaps are rounded
+/// to the nearest tick and clamped to >= 1, matching the per-client
+/// Client arrival clock.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(double rate_tps, MmppConfig mmpp, Rng rng);
+
+  /// Gap from now to the next arrival, advancing the modulation chain.
+  SimTime NextGap();
+
+  /// Long-run mean arrival rate, modulation included.
+  double mean_rate_tps() const;
+
+ private:
+  void AdvanceState();
+
+  double rate_tps_;
+  MmppConfig mmpp_;
+  Rng rng_;
+  size_t state_ = 0;
+  /// Simulated time left in the current MMPP state (modulated only).
+  double remaining_in_state_us_ = 0.0;
+};
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_POPULATION_POPULATION_H_

@@ -41,6 +41,14 @@ struct WorkloadConfig {
   /// runner disables this for FabricSharp, which does not support
   /// range queries (paper §5.4.3).
   bool include_range_reads = true;
+  /// genChain only: include insertKeys/deleteKeys in the mix. Inserts
+  /// mint fresh keys forever and deletes stop removing once the
+  /// bootstrap range is consumed, so a long mutating run grows every
+  /// peer's world state without bound. Disable for endurance runs
+  /// (e.g. bench_scale_ceiling) that need a static key space where
+  /// memory growth measures simulator bookkeeping, not application
+  /// state.
+  bool genchain_mutations = true;
   /// How clients spread submissions across channels (multi-channel
   /// networks only; inert when fabric.num_channels == 1). skew is the
   /// Zipf exponent of channel popularity, channels_per_client pins

@@ -290,20 +290,20 @@ constexpr char kGoldenCompat[] =
     "ledger=1998 valid=889 endorse=21 mvcc_intra=808 mvcc_inter=280 "
     "phantom=0 submitted=1998 app=0\n"
     "pct=55.505505505505504/1.0510510510510511/54.454454454454456/0/0\n"
-    "lat=0.79166505605605497/0.75911118027396884/2.02848615705734 "
+    "lat=0.79166268968969022/0.75911118027396884/2.02848615705734 "
     "tput=95/44.450000000000003\n";
 
 constexpr char kGoldenReplicated[] =
     "ledger=1992 valid=899 endorse=20 mvcc_intra=796 mvcc_inter=277 "
     "phantom=0 submitted=1992 app=0\n"
     "pct=54.869477911646584/1.0040160642570282/53.865461847389561/0/0\n"
-    "lat=0.78059935993975937/0.74022120304450434/2.0647142323398877 "
+    "lat=0.78060464658634665/0.74022120304450434/2.0647142323398877 "
     "tput=95/44.950000000000003\n";
 
 constexpr size_t kGoldenCompatTraceBytes = 1052535;
-constexpr uint64_t kGoldenCompatTraceHash = 6515298324931540603ull;
+constexpr uint64_t kGoldenCompatTraceHash = 8293478105143936468ull;
 constexpr size_t kGoldenReplicatedTraceBytes = 1046460;
-constexpr uint64_t kGoldenReplicatedTraceHash = 702770382419424907ull;
+constexpr uint64_t kGoldenReplicatedTraceHash = 2292966280054001386ull;
 
 ExperimentConfig GoldenConfig() {
   ExperimentConfig config = ExperimentConfig::Defaults();

