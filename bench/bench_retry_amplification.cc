@@ -5,24 +5,32 @@
 // resubmitted transactions conflict again — the failure the client
 // tried to mask feeds back into the failure rate. This bench runs the
 // paper's default contended workload with resubmission off and on and
-// reports the amplification.
+// reports the amplification, plus a third column with the overload
+// protections layered on top of resubmission (retry budget + circuit
+// breaker): the budget caps how much extra load retries may add, so
+// the amplification stops compounding.
 #include "bench/bench_util.h"
 
 using namespace fabricsim;
 using namespace fabricsim::bench;
 
 int main() {
-  Header("Retry amplification - MVCC resubmission off vs on",
+  Header("Retry amplification - MVCC resubmission off vs on vs protected",
          "resubmitting MVCC-failed transactions raises the MVCC "
          "conflict share and total load: retries amplify the very "
-         "failures they try to mask");
+         "failures they try to mask; a retry budget bounds the "
+         "amplification");
 
   JsonWriter json("retry_amplification");
-  std::printf("%8s %-10s %12s %10s %14s %12s %12s\n", "rate", "resubmit",
-              "ledger txs", "mvcc%", "resubmissions", "latency(s)",
-              "total fail%");
+  std::printf("%8s %-10s %12s %10s %14s %16s %12s %12s\n", "rate", "mode",
+              "ledger txs", "mvcc%", "resubmissions", "budget denials",
+              "latency(s)", "total fail%");
   for (double rate : {25.0, 50.0, 100.0}) {
-    for (bool resubmit : {false, true}) {
+    // baseline: no resubmission; resubmit: unbounded (policy-capped)
+    // resubmission; protected: resubmission + retry budget + breaker.
+    for (const char* mode : {"baseline", "resubmit", "protected"}) {
+      bool resubmit = std::string(mode) != "baseline";
+      bool guarded = std::string(mode) == "protected";
       ExperimentConfig config = BaseC1(rate);
       if (resubmit) {
         ClientRetryPolicy retry;
@@ -30,18 +38,24 @@ int main() {
         retry.max_resubmits = 2;
         config = ExperimentConfig::Builder(config).Retry(retry).Build();
       }
+      if (guarded) {
+        AdmissionConfig admission;
+        admission.retry_budget.enabled = true;
+        admission.retry_budget.ratio = 0.1;
+        admission.breaker.enabled = true;
+        config = ExperimentConfig::Builder(config).Admission(admission).Build();
+      }
       json.Config(config);
       double start = NowMs();
       FailureReport r = MustRun(config);
       double wall_ms = NowMs() - start;
-      std::printf("%8.0f %-10s %12llu %10.2f %14llu %12.3f %12.2f\n", rate,
-                  resubmit ? "on" : "off",
-                  static_cast<unsigned long long>(r.ledger_txs), r.mvcc_pct,
-                  static_cast<unsigned long long>(r.resubmissions),
+      std::printf("%8.0f %-10s %12llu %10.2f %14llu %16llu %12.3f %12.2f\n",
+                  rate, mode, static_cast<unsigned long long>(r.ledger_txs),
+                  r.mvcc_pct, static_cast<unsigned long long>(r.resubmissions),
+                  static_cast<unsigned long long>(r.retry_budget_denials),
                   r.avg_latency_s, r.total_failure_pct);
       std::fflush(stdout);
-      json.Row(resubmit ? "resubmit" : "baseline", rate, config.base_seed,
-               wall_ms, r.mvcc_pct);
+      json.Row(mode, rate, config.base_seed, wall_ms, r.mvcc_pct);
     }
   }
   return 0;

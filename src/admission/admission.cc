@@ -1,0 +1,135 @@
+#include "src/admission/admission.h"
+
+#include <cmath>
+
+namespace fabricsim {
+
+const char* AdmissionQueuePolicyToString(AdmissionQueuePolicy policy) {
+  switch (policy) {
+    case AdmissionQueuePolicy::kNone:
+      return "none";
+    case AdmissionQueuePolicy::kRejectNew:
+      return "reject_new";
+    case AdmissionQueuePolicy::kDropOldest:
+      return "drop_oldest";
+    case AdmissionQueuePolicy::kCoDel:
+      return "codel";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowSubmit(SimTime now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ < config_.open_duration) return false;
+      state_ = State::kHalfOpen;
+      probes_issued_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_issued_ >= config_.half_open_probes) return false;
+      ++probes_issued_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(SimTime now) {
+  (void)now;
+  if (state_ == State::kHalfOpen) {
+    ++probe_successes_;
+    if (probe_successes_ >= config_.half_open_probes) {
+      // Every probe made it through: the downstream congestion has
+      // cleared. Close and start a fresh window.
+      state_ = State::kClosed;
+      window_outcomes_ = 0;
+      window_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  ++window_outcomes_;
+  if (window_outcomes_ >= config_.window) {
+    window_outcomes_ = 0;
+    window_failures_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  if (state_ == State::kHalfOpen) {
+    // A probe failed: the overload persists; back off for another full
+    // open_duration.
+    Trip(now);
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  ++window_outcomes_;
+  ++window_failures_;
+  if (window_outcomes_ >= config_.window) {
+    double failure_share = static_cast<double>(window_failures_) /
+                           static_cast<double>(window_outcomes_);
+    window_outcomes_ = 0;
+    window_failures_ = 0;
+    if (failure_share >= config_.open_threshold) Trip(now);
+  }
+}
+
+void CircuitBreaker::Trip(SimTime now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  window_outcomes_ = 0;
+  window_failures_ = 0;
+  if (stats_ != nullptr) ++stats_->breaker_opens;
+}
+
+SimTime CoDelState::ControlLaw(SimTime t, SimTime interval, uint32_t count) {
+  return t + static_cast<SimTime>(
+                 static_cast<double>(interval) /
+                 std::sqrt(static_cast<double>(count == 0 ? 1 : count)));
+}
+
+bool CoDelState::ShouldDrop(SimTime sojourn, SimTime now, SimTime target,
+                            SimTime interval) {
+  bool ok_to_drop = false;
+  if (sojourn < target) {
+    // Sojourn dipped below target: the standing queue is gone.
+    first_above_time_ = 0;
+  } else {
+    if (first_above_time_ == 0) {
+      first_above_time_ = now + interval;
+    } else if (now >= first_above_time_) {
+      ok_to_drop = true;
+    }
+  }
+
+  if (dropping_) {
+    if (!ok_to_drop) {
+      dropping_ = false;
+      return false;
+    }
+    if (now >= drop_next_) {
+      ++count_;
+      ++total_drops_;
+      drop_next_ = ControlLaw(drop_next_, interval, count_);
+      return true;
+    }
+    return false;
+  }
+
+  if (ok_to_drop) {
+    dropping_ = true;
+    // Restart drop spacing from the recent rate when the last drop
+    // spell ended recently, per the CoDel pseudocode.
+    uint32_t delta = count_ - last_count_;
+    count_ = (delta > 1 && now - drop_next_ < 16 * interval) ? delta : 1;
+    ++total_drops_;
+    drop_next_ = ControlLaw(now, interval, count_);
+    last_count_ = count_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fabricsim

@@ -10,9 +10,31 @@
 
 namespace fabricsim {
 
-Client::Client(Params params) : p_(std::move(params)) {}
+Client::Client(Params params) : p_(std::move(params)) {
+  // A disabled config is treated as absent, so harnesses may plumb the
+  // pointer unconditionally without engaging any protection path.
+  if (p_.admission != nullptr && !p_.admission->enabled()) {
+    p_.admission = nullptr;
+  }
+  if (p_.admission != nullptr) {
+    if (p_.admission->breaker.enabled) {
+      breaker_.emplace(p_.admission->breaker, p_.admission_stats);
+    }
+    if (p_.admission->retry_budget.enabled) {
+      retry_budget_.emplace(p_.admission->retry_budget);
+    }
+  }
+}
 
 void Client::Start() { ScheduleNextArrival(); }
+
+void Client::RecordOutcomeSuccess() {
+  if (breaker_.has_value()) breaker_->RecordSuccess(p_.env->now());
+}
+
+void Client::RecordOutcomeFailure() {
+  if (breaker_.has_value()) breaker_->RecordFailure(p_.env->now());
+}
 
 void Client::ScheduleNextArrival() {
   double mean_us = 1e6 / p_.arrival_rate_tps;
@@ -32,6 +54,15 @@ void Client::ScheduleNextArrival() {
 }
 
 void Client::SubmitOne() {
+  if (breaker_.has_value() && !breaker_->AllowSubmit(p_.env->now())) {
+    // Open breaker: the submission is suppressed at the source — the
+    // cheapest place to shed load. No transaction id is consumed (the
+    // proposal never exists anywhere downstream).
+    if (p_.admission_stats != nullptr) {
+      ++p_.admission_stats->breaker_rejected;
+    }
+    return;
+  }
   TxId tx_id = ++(*p_.tx_id_counter);
   ++p_.stats->txs_generated;
   // The channel draw precedes the invocation draw; with one visible
@@ -49,6 +80,12 @@ void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count,
   pending.submit_time = p_.env->now();
   pending.rr_base = round_robin_;
   pending.resubmit_count = resubmit_count;
+  if (p_.admission != nullptr && p_.admission->deadlines_enabled()) {
+    pending.deadline = p_.env->now() + p_.admission->tx_deadline;
+  }
+  if (retry_budget_.has_value() && resubmit_count == 0) {
+    retry_budget_->OnSubmit();
+  }
   if (Tracer* tracer = p_.env->tracer()) {
     tracer->OnClientSubmit(tx_id, pending.invocation.function, channel,
                            p_.env->now());
@@ -82,6 +119,7 @@ void Client::Submit(TxId tx_id, Invocation invocation, int resubmit_count,
     }
     return;
   }
+  if (p_.admission != nullptr) pending.proposed_peers = targets;
   in_flight_.emplace(tx_id, std::move(pending));
 
   for (Peer* peer : targets) SendProposal(tx_id, peer, /*attempt=*/0);
@@ -93,6 +131,7 @@ void Client::SendProposal(TxId tx_id, Peer* peer, int attempt) {
   request.tx_id = tx_id;
   request.channel = in_flight_[tx_id].channel;
   request.invocation = in_flight_[tx_id].invocation;
+  request.deadline = in_flight_[tx_id].deadline;
   NodeId peer_node = peer->node();
   if (Tracer* tracer = p_.env->tracer()) {
     tracer->OnEndorseRequest(tx_id, peer->id(), peer->org(), attempt,
@@ -113,14 +152,10 @@ void Client::SendProposal(TxId tx_id, Peer* peer, int attempt) {
 }
 
 void Client::ScheduleEndorseTimeout(TxId tx_id, int attempt) {
-  // Deterministic exponential backoff: attempt k waits
-  // endorse_timeout * backoff_multiplier^k. No jitter draw, so retry
-  // bookkeeping never perturbs the RNG streams.
-  double scale = 1.0;
-  for (int i = 0; i < attempt; ++i) scale *= p_.retry.backoff_multiplier;
-  SimTime wait = static_cast<SimTime>(
-      static_cast<double>(p_.retry.endorse_timeout) * scale);
-  if (wait < 1) wait = 1;
+  // Deterministic capped exponential backoff: attempt k waits
+  // min(endorse_timeout * backoff_multiplier^k, max_backoff). No
+  // jitter draw, so retry bookkeeping never perturbs the RNG streams.
+  SimTime wait = p_.retry.BackoffForAttempt(attempt);
   p_.env->Schedule(wait, [this, tx_id, attempt]() {
     OnEndorseTimeout(tx_id, attempt);
   });
@@ -131,13 +166,25 @@ void Client::OnEndorseTimeout(TxId tx_id, int attempt) {
   if (it == in_flight_.end()) return;        // completed in the meantime
   PendingTx& pending = it->second;
   if (pending.attempt != attempt) return;    // stale: a retry is running
-  if (attempt >= p_.retry.max_endorse_retries) {
+  bool budget_denied = false;
+  if (attempt < p_.retry.max_endorse_retries &&
+      retry_budget_.has_value() && !retry_budget_->TrySpend()) {
+    // Token bucket is dry: under sustained failure the retry share of
+    // offered load is capped instead of amplifying the overload.
+    budget_denied = true;
+    if (p_.admission_stats != nullptr) {
+      ++p_.admission_stats->retry_budget_denials;
+    }
+  }
+  if (attempt >= p_.retry.max_endorse_retries || budget_denied) {
     ++p_.stats->endorse_timeouts;
     if (Tracer* tracer = p_.env->tracer()) {
       tracer->OnClientDrop(tx_id, TraceTerminal::kEndorseTimeout,
                            p_.env->now());
     }
+    CancelOutstanding(tx_id, pending);
     in_flight_.erase(it);
+    RecordOutcomeFailure();
     return;
   }
   int next_attempt = attempt + 1;
@@ -163,6 +210,7 @@ void Client::OnEndorseTimeout(TxId tx_id, int attempt) {
     Peer* peer = org_peers[(pending.rr_base +
                             static_cast<uint64_t>(next_attempt)) %
                            org_peers.size()];
+    if (p_.admission != nullptr) pending.proposed_peers.push_back(peer);
     SendProposal(tx_id, peer, next_attempt);
   }
   ScheduleEndorseTimeout(tx_id, next_attempt);
@@ -174,6 +222,10 @@ void Client::OnEndorsement(ProposalResponse response) {
   if (Tracer* tracer = p_.env->tracer()) {
     tracer->OnEndorseResponse(response.tx_id, response.endorsement.peer_id,
                               p_.env->now());
+  }
+  if (response.reject != ProposalReject::kNone) {
+    OnEndorseReject(response.tx_id, response.reject);
+    return;
   }
   PendingTx& pending = it->second;
   for (const ProposalResponse& r : pending.responses) {
@@ -203,6 +255,79 @@ void Client::OnEndorsement(ProposalResponse response) {
   TxId tx_id = it->first;
   in_flight_.erase(it);
   FinalizeTx(tx_id, std::move(done));
+}
+
+void Client::OnEndorseReject(TxId tx_id, ProposalReject why) {
+  auto it = in_flight_.find(tx_id);
+  if (it == in_flight_.end()) return;
+  // Fast-fail: the first refusal kills the transaction. Re-proposing
+  // into a queue that just shed us would feed the overload, and an
+  // expired transaction is unsalvageable by definition. Any pending
+  // timeout finds in_flight_ empty and does nothing. Sibling proposals
+  // still queued at the other orgs are cancelled so a dead transaction
+  // stops consuming endorsement capacity there (the cancel is a no-op
+  // at the org that refused).
+  PendingTx pending = std::move(it->second);
+  in_flight_.erase(it);
+  CancelOutstanding(tx_id, pending);
+  if (why == ProposalReject::kExpired) {
+    if (p_.admission_stats != nullptr) {
+      ++p_.admission_stats->client_expired_drops;
+    }
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnAdmissionDrop(tx_id, TraceTerminal::kDeadlineExpired,
+                              TxValidationCode::kDeadlineExpiredEndorse,
+                              p_.env->now());
+    }
+    // An expired deadline means the backend is too slow to be useful —
+    // exactly the sickness signal the breaker watches for.
+    RecordOutcomeFailure();
+  } else {
+    if (p_.admission_stats != nullptr) {
+      ++p_.admission_stats->client_shed_drops;
+    }
+    if (Tracer* tracer = p_.env->tracer()) {
+      tracer->OnClientDrop(tx_id, TraceTerminal::kAdmissionShed,
+                           p_.env->now());
+    }
+    // Deliberately NOT a breaker failure: a shed is a *healthy* backend
+    // bounding its own queue and answering within one RTT. Tripping on
+    // sheds would turn graceful degradation into a full outage — the
+    // breaker is reserved for unresponsiveness (expiry, timeouts,
+    // ordering throttle).
+  }
+}
+
+void Client::CancelOutstanding(TxId tx_id, const PendingTx& pending) {
+  // The cancel rides the network like any other control message; by
+  // the time it lands each sibling is either still queued (husked,
+  // a full chaincode simulation saved) or already served (no-op).
+  // proposed_peers is only ever populated on the admission path, so
+  // this never adds events — or network RNG draws — to a default run.
+  for (Peer* peer : pending.proposed_peers) {
+    NodeId peer_node = peer->node();
+    p_.net->Send(*p_.env, p_.node, peer_node, 64,
+                 [peer, tx_id]() { peer->CancelProposal(tx_id); });
+  }
+}
+
+void Client::OnOrdererThrottle(TxId tx_id) {
+  // The envelope was fully endorsed but the ordering service pushed
+  // back. Drop the transaction and let the breaker slow the source;
+  // blindly re-broadcasting is exactly the retry storm this subsystem
+  // exists to prevent.
+  if (p_.admission_stats != nullptr) {
+    ++p_.admission_stats->client_throttle_drops;
+  }
+  if (p_.resubmit_registry != nullptr) {
+    p_.resubmit_registry->erase(tx_id);
+    resubmit_meta_.erase(tx_id);
+  }
+  if (Tracer* tracer = p_.env->tracer()) {
+    tracer->OnClientDrop(tx_id, TraceTerminal::kOrdererThrottled,
+                         p_.env->now());
+  }
+  RecordOutcomeFailure();
 }
 
 void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
@@ -243,6 +368,7 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
   tx.function = pending.invocation.function;
   tx.args = pending.invocation.args;
   tx.client_submit_time = pending.submit_time;
+  tx.deadline = pending.deadline;
   tx.endorsed_time = p_.env->now();
   bool rwset_attached = false;
   for (ProposalResponse& r : pending.responses) {
@@ -269,6 +395,10 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
   }
 
   ++p_.stats->txs_submitted;
+  // Breaker success = the transaction made it through endorsement to
+  // the ordering handoff. A later throttle adds a failure outcome, so
+  // a fully throttled pipeline still trips the breaker.
+  RecordOutcomeSuccess();
   if (p_.resubmit_registry != nullptr) {
     // Register for commit feedback so an MVCC failure can trigger a
     // resubmission; the harness routes the verdict back via
@@ -299,6 +429,23 @@ void Client::FinalizeTx(TxId tx_id, PendingTx pending) {
   Orderer* orderer = p_.channel_orderers.empty()
                          ? p_.orderer
                          : p_.channel_orderers[static_cast<size_t>(channel)];
+  if (p_.admission != nullptr && p_.admission->orderer_bounded()) {
+    // Backpressure-aware handoff: a rejected envelope produces an
+    // explicit throttle signal that rides back over the network.
+    p_.env->Schedule(collect_cost, [this, shared_tx, bytes, orderer]() {
+      TxId id = shared_tx->id;
+      p_.net->Send(
+          *p_.env, p_.node, p_.orderer_node, bytes,
+          [this, orderer, shared_tx, id]() {
+            orderer->SubmitTransaction(
+                std::move(*shared_tx), [this, id]() {
+                  p_.net->Send(*p_.env, p_.orderer_node, p_.node, 48,
+                               [this, id]() { OnOrdererThrottle(id); });
+                });
+          });
+    });
+    return;
+  }
   p_.env->Schedule(collect_cost, [this, shared_tx, bytes, orderer]() {
     p_.net->Send(*p_.env, p_.node, p_.orderer_node, bytes,
                  [orderer, shared_tx]() {
@@ -395,6 +542,14 @@ void Client::OnCommittedResult(TxId tx_id, TxValidationCode code) {
     return;  // committed, or failed for a non-retryable reason
   }
   if (meta.resubmit_count >= p_.retry.max_resubmits) return;
+  if (retry_budget_.has_value() && !retry_budget_->TrySpend()) {
+    // No tokens: the resubmission is skipped — MVCC retry
+    // amplification is bounded at the source under overload.
+    if (p_.admission_stats != nullptr) {
+      ++p_.admission_stats->retry_budget_denials;
+    }
+    return;
+  }
   ++p_.stats->resubmissions;
   TxId new_id = ++(*p_.tx_id_counter);
   ++p_.stats->txs_generated;

@@ -2,9 +2,11 @@
 #define FABRICSIM_CLIENT_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "src/admission/admission.h"
 #include "src/channels/channel_affinity.h"
 #include "src/common/rng.h"
 #include "src/ordering/orderer.h"
@@ -131,6 +133,12 @@ class Client {
     /// deliver each transaction's validation verdict back to its
     /// client.
     std::unordered_map<TxId, Client*>* resubmit_registry = nullptr;
+    /// Overload protection (src/admission): deadline stamping, the
+    /// per-client circuit breaker and retry budget, and handling of
+    /// shed/throttle signals. Null (or a disabled config) reproduces
+    /// the unprotected client exactly.
+    const AdmissionConfig* admission = nullptr;
+    AdmissionStats* admission_stats = nullptr;
   };
 
   explicit Client(Params params);
@@ -159,9 +167,16 @@ class Client {
     /// through endorsement, ordering, and any resubmission.
     ChannelId channel = 0;
     SimTime submit_time = 0;
+    /// Absolute client deadline stamped at first submission (overload
+    /// protection); 0 = none.
+    SimTime deadline = 0;
     /// Orgs actually targeted (those with at least one peer); complete
     /// once every one of them has responded.
     std::vector<OrgId> proposed_orgs;
+    /// Every peer a proposal was sent to (first round and retries), so
+    /// an abandoned transaction can cancel its still-queued siblings
+    /// (admission path only — never touched otherwise).
+    std::vector<Peer*> proposed_peers;
     /// Round-robin cursor at first submission; retry k re-proposes to
     /// peer (rr_base + k) % org_size of each unanswered org.
     uint64_t rr_base = 0;
@@ -192,6 +207,19 @@ class Client {
   void OnEndorseTimeout(TxId tx_id, int attempt);
   void OnEndorsement(ProposalResponse response);
   void FinalizeTx(TxId tx_id, PendingTx pending);
+  /// An endorser refused the proposal (shed or deadline-expired): the
+  /// client fast-fails the transaction instead of waiting out the
+  /// timeout — overload feedback must travel faster than the overload.
+  void OnEndorseReject(TxId tx_id, ProposalReject why);
+  /// Cancellation propagation: tells every proposed peer to husk any
+  /// sibling proposal of an abandoned transaction, so dead work stops
+  /// consuming endorsement capacity. Admission path only.
+  void CancelOutstanding(TxId tx_id, const PendingTx& pending);
+  /// The orderer's bounded ingress rejected the envelope.
+  void OnOrdererThrottle(TxId tx_id);
+  /// Breaker outcome feedback (no-ops when no breaker is configured).
+  void RecordOutcomeSuccess();
+  void RecordOutcomeFailure();
 
   /// Replicated-ordering failover: envelope awaiting its ordering ack.
   struct PendingOrder {
@@ -210,6 +238,10 @@ class Client {
   int& LeaderHintFor(ChannelId channel);
 
   Params p_;
+  /// Overload protection state (engaged only when Params::admission is
+  /// an enabled config).
+  std::optional<CircuitBreaker> breaker_;
+  std::optional<RetryBudget> retry_budget_;
   std::unordered_map<TxId, PendingTx> in_flight_;
   std::unordered_map<TxId, ResubmitMeta> resubmit_meta_;
   std::unordered_map<TxId, PendingOrder> awaiting_order_ack_;

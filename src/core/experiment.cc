@@ -60,6 +60,29 @@ std::string ExperimentConfig::Describe() const {
   if (fabric.streaming_obs) description += " | streaming-obs";
   if (fabric.streaming_ledger) description += " | streaming-ledger";
   if (!workload.genchain_mutations) description += " | static-keys";
+  // Overload protection is echoed only when some mechanism is on:
+  // unprotected report headers stay byte-stable.
+  if (fabric.admission.enabled()) {
+    description += " | admission=";
+    bool first = true;
+    auto append = [&](std::string part) {
+      if (!first) description += ",";
+      description += part;
+      first = false;
+    };
+    if (fabric.admission.deadlines_enabled()) {
+      append(StrFormat("ttl=%.1fs", ToSeconds(fabric.admission.tx_deadline)));
+    }
+    if (fabric.admission.endorse_bounded()) {
+      append(StrFormat(
+          "%s", AdmissionQueuePolicyToString(fabric.admission.endorse_policy)));
+    }
+    if (fabric.admission.orderer_bounded()) {
+      append(StrFormat("ob=%u", fabric.admission.max_orderer_queue_depth));
+    }
+    if (fabric.admission.breaker.enabled) append("breaker");
+    if (fabric.admission.retry_budget.enabled) append("budget");
+  }
   return description;
 }
 

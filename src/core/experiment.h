@@ -174,6 +174,13 @@ class ExperimentConfig::Builder {
     config_.fabric.retry = retry;
     return *this;
   }
+  /// Overload protection (deadlines, admission control, backpressure,
+  /// circuit breaker, retry budget). The default — a disabled config —
+  /// reproduces the unprotected pipeline bitwise.
+  Builder& Admission(AdmissionConfig admission) {
+    config_.fabric.admission = admission;
+    return *this;
+  }
   /// Replicated (Raft) ordering service configuration. Set
   /// ordering.replicated = true to leave compat mode.
   Builder& ReplicatedOrdering(OrderingConfig ordering) {

@@ -39,6 +39,9 @@ void FillFromSummary(FailureReport& report, const LedgerSummary& summary,
   report.orderer_broadcast_drops = stats.orderer_broadcast_drops;
   report.orderer_elections = stats.orderer_elections;
   report.orderer_leader_changes = stats.orderer_leader_changes;
+  // Commit-phase deadline expirations live on the chain like any other
+  // validation failure; nonzero only when deadlines were enabled.
+  report.deadline_expired_commit = summary.deadline_expired;
 
   if (summary.total > 0) {
     double n = static_cast<double>(summary.total);
@@ -83,20 +86,45 @@ void FillPhases(FailureReport& report, const Tracer* tracer) {
   report.commit_p99_s = phases.commit.Percentile(0.99) / 1000.0;
 }
 
+/// Overload-protection section (both build paths). A null `admission`
+/// — every unprotected run — leaves the report untouched.
+void FillAdmission(FailureReport& report, const AdmissionStats* admission) {
+  if (admission == nullptr) return;
+  report.has_admission = true;
+  report.admission_shed = admission->endorse_shed;
+  report.admission_cancelled = admission->endorse_cancelled;
+  report.deadline_expired_endorse = admission->deadline_expired_endorse;
+  report.deadline_expired_order = admission->deadline_expired_order;
+  report.orderer_throttled = admission->orderer_throttled;
+  report.breaker_rejected = admission->breaker_rejected;
+  report.breaker_opens = admission->breaker_opens;
+  report.retry_budget_denials = admission->retry_budget_denials;
+  if (admission->endorse_sojourn_ms.count() > 0) {
+    report.endorse_sojourn_p50_ms = admission->endorse_sojourn_ms.Percentile(0.5);
+    report.endorse_sojourn_p99_ms = admission->endorse_sojourn_ms.Percentile(0.99);
+  }
+  if (admission->endorse_depth.count() > 0) {
+    report.endorse_depth_mean = admission->endorse_depth.mean();
+    report.endorse_depth_max = admission->endorse_depth.max();
+  }
+}
+
 }  // namespace
 
 FailureReport BuildFailureReport(const BlockStore& ledger,
                                  const RunStats& stats,
                                  SimTime load_duration,
-                                 const Tracer* tracer) {
+                                 const Tracer* tracer,
+                                 const AdmissionStats* admission) {
   return BuildFailureReport(std::vector<const BlockStore*>{&ledger}, stats,
-                            load_duration, tracer);
+                            load_duration, tracer, admission);
 }
 
 FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
                                  const RunStats& stats,
                                  SimTime load_duration,
-                                 const Tracer* tracer) {
+                                 const Tracer* tracer,
+                                 const AdmissionStats* admission) {
   FailureReport report;
   double seconds = ToSeconds(load_duration);
   // Aggregate counts sum over every channel's chain; with exactly one
@@ -170,13 +198,15 @@ FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
   }
 
   FillPhases(report, tracer);
+  FillAdmission(report, admission);
   return report;
 }
 
 FailureReport BuildFailureReport(const StreamingLedgerStats& ledger_stats,
                                  const RunStats& stats,
                                  SimTime load_duration,
-                                 const Tracer* tracer) {
+                                 const Tracer* tracer,
+                                 const AdmissionStats* admission) {
   FailureReport report;
   double seconds = ToSeconds(load_duration);
   FillFromSummary(report, ledger_stats.summary(), stats, seconds);
@@ -220,6 +250,7 @@ FailureReport BuildFailureReport(const StreamingLedgerStats& ledger_stats,
   }
 
   FillPhases(report, tracer);
+  FillAdmission(report, admission);
   return report;
 }
 
@@ -265,6 +296,35 @@ FailureReport FailureReport::Average(
       avg_u([](const auto& r) { return r.orderer_elections; });
   mean.orderer_leader_changes =
       avg_u([](const auto& r) { return r.orderer_leader_changes; });
+  bool all_admission = true;
+  for (const FailureReport& r : reports) all_admission &= r.has_admission;
+  if (all_admission) {
+    mean.has_admission = true;
+    mean.admission_shed = avg_u([](const auto& r) { return r.admission_shed; });
+    mean.admission_cancelled =
+        avg_u([](const auto& r) { return r.admission_cancelled; });
+    mean.deadline_expired_endorse =
+        avg_u([](const auto& r) { return r.deadline_expired_endorse; });
+    mean.deadline_expired_order =
+        avg_u([](const auto& r) { return r.deadline_expired_order; });
+    mean.deadline_expired_commit =
+        avg_u([](const auto& r) { return r.deadline_expired_commit; });
+    mean.orderer_throttled =
+        avg_u([](const auto& r) { return r.orderer_throttled; });
+    mean.breaker_rejected =
+        avg_u([](const auto& r) { return r.breaker_rejected; });
+    mean.breaker_opens = avg_u([](const auto& r) { return r.breaker_opens; });
+    mean.retry_budget_denials =
+        avg_u([](const auto& r) { return r.retry_budget_denials; });
+    mean.endorse_sojourn_p50_ms =
+        avg_d([](const auto& r) { return r.endorse_sojourn_p50_ms; });
+    mean.endorse_sojourn_p99_ms =
+        avg_d([](const auto& r) { return r.endorse_sojourn_p99_ms; });
+    mean.endorse_depth_mean =
+        avg_d([](const auto& r) { return r.endorse_depth_mean; });
+    mean.endorse_depth_max =
+        avg_d([](const auto& r) { return r.endorse_depth_max; });
+  }
   mean.total_failure_pct =
       avg_d([](const auto& r) { return r.total_failure_pct; });
   mean.endorsement_pct = avg_d([](const auto& r) { return r.endorsement_pct; });
@@ -387,6 +447,27 @@ std::string FailureReport::ToString() const {
         "| commit avg %.3fs p99 %.3fs\n",
         endorse_avg_s, endorse_p99_s, ordering_avg_s, ordering_p99_s,
         commit_avg_s, commit_p99_s);
+  }
+  if (has_admission) {
+    out += StrFormat(
+        "admission: shed %llu (cancelled %llu) | expired "
+        "endorse/order/commit %llu/%llu/%llu "
+        "| throttled %llu | breaker rejects %llu (opens %llu) | budget "
+        "denials %llu\n",
+        static_cast<unsigned long long>(admission_shed),
+        static_cast<unsigned long long>(admission_cancelled),
+        static_cast<unsigned long long>(deadline_expired_endorse),
+        static_cast<unsigned long long>(deadline_expired_order),
+        static_cast<unsigned long long>(deadline_expired_commit),
+        static_cast<unsigned long long>(orderer_throttled),
+        static_cast<unsigned long long>(breaker_rejected),
+        static_cast<unsigned long long>(breaker_opens),
+        static_cast<unsigned long long>(retry_budget_denials));
+    out += StrFormat(
+        "admission queue: sojourn p50 %.1fms p99 %.1fms | depth mean %.1f "
+        "max %.0f\n",
+        endorse_sojourn_p50_ms, endorse_sojourn_p99_ms, endorse_depth_mean,
+        endorse_depth_max);
   }
   for (const ChannelFailureBreakdown& slice : per_channel) {
     out += StrFormat(

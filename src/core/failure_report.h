@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/admission/admission.h"
 #include "src/client/client.h"
 #include "src/ledger/ledger_parser.h"
 
@@ -59,6 +60,24 @@ struct FailureReport {
   uint64_t orderer_elections = 0;       ///< Raft elections started
   uint64_t orderer_leader_changes = 0;  ///< distinct leader takeovers
 
+  // Overload-protection section (src/admission). Only populated —
+  // and only printed — when the run had an enabled AdmissionConfig;
+  // unprotected runs produce byte-identical reports.
+  bool has_admission = false;
+  uint64_t admission_shed = 0;             ///< proposals shed at endorsers
+  uint64_t admission_cancelled = 0;        ///< dead siblings husked early
+  uint64_t deadline_expired_endorse = 0;   ///< TTL passed at the endorser
+  uint64_t deadline_expired_order = 0;     ///< TTL passed at orderer ingress
+  uint64_t deadline_expired_commit = 0;    ///< TTL passed at validation
+  uint64_t orderer_throttled = 0;          ///< bounded-ingress rejections
+  uint64_t breaker_rejected = 0;           ///< submissions suppressed open
+  uint64_t breaker_opens = 0;              ///< closed->open transitions
+  uint64_t retry_budget_denials = 0;       ///< retries skipped, empty bucket
+  double endorse_sojourn_p50_ms = 0;       ///< endorse-queue wait quantiles
+  double endorse_sojourn_p99_ms = 0;
+  double endorse_depth_mean = 0;           ///< queue depth at arrival
+  double endorse_depth_max = 0;
+
   // Percentages of ledger transactions.
   double total_failure_pct = 0;
   double endorsement_pct = 0;
@@ -113,10 +132,13 @@ struct FailureReport {
 /// When `tracer` is non-null (run had tracing enabled), the report
 /// additionally carries the per-phase latency breakdown; a null tracer
 /// produces output identical to a build without the obs subsystem.
+/// Likewise `admission`: non-null adds the overload-protection
+/// section, null reproduces the unprotected report byte-for-byte.
 FailureReport BuildFailureReport(const BlockStore& ledger,
                                  const RunStats& stats,
                                  SimTime load_duration,
-                                 const Tracer* tracer = nullptr);
+                                 const Tracer* tracer = nullptr,
+                                 const AdmissionStats* admission = nullptr);
 
 /// Multi-channel variant: one ledger per channel, in channel order.
 /// The aggregate metrics sum/merge across every channel's chain; with
@@ -126,7 +148,8 @@ FailureReport BuildFailureReport(const BlockStore& ledger,
 FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
                                  const RunStats& stats,
                                  SimTime load_duration,
-                                 const Tracer* tracer = nullptr);
+                                 const Tracer* tracer = nullptr,
+                                 const AdmissionStats* admission = nullptr);
 
 /// Streaming variant: builds the report from commit-time aggregates
 /// instead of a retained ledger. Failure counts and throughput are
@@ -136,7 +159,8 @@ FailureReport BuildFailureReport(const std::vector<const BlockStore*>& ledgers,
 FailureReport BuildFailureReport(const StreamingLedgerStats& ledger_stats,
                                  const RunStats& stats,
                                  SimTime load_duration,
-                                 const Tracer* tracer = nullptr);
+                                 const Tracer* tracer = nullptr,
+                                 const AdmissionStats* admission = nullptr);
 
 }  // namespace fabricsim
 

@@ -127,6 +127,13 @@ Status FabricNetwork::Init() {
     processor = fabricsharp_.get();
   }
 
+  // --- Overload protection --------------------------------------------
+  // A single run-wide counter block; its absence (the default) is what
+  // every actor checks to stay on the legacy pipeline.
+  if (config_.admission.enabled()) {
+    admission_stats_ = std::make_unique<AdmissionStats>();
+  }
+
   // --- Peers -----------------------------------------------------------
   DbLatencyProfile db_profile = config_.MakeDbProfile();
   if (StreamchainModel::UsesRamDisk(config_)) {
@@ -189,6 +196,10 @@ Status FabricNetwork::Init() {
       params.rng = env_->rng().Fork(2000 + static_cast<uint64_t>(peer_id));
       params.validation_cache = validation_cache_.get();
       params.commit_pipelines = commit_pipelines_.get();
+      if (admission_stats_ != nullptr) {
+        params.admission = &config_.admission;
+        params.admission_stats = admission_stats_.get();
+      }
       if (peer_id == 0) {
         params.on_commit = [this](ChannelId channel, uint64_t number,
                                   const ValidationOutcome& outcome) {
@@ -312,6 +323,10 @@ Status FabricNetwork::Init() {
       oparams.peers = delivery_endpoints;
       oparams.on_block_cut = on_block_cut;
       oparams.on_early_abort = on_early_abort;
+      if (admission_stats_ != nullptr) {
+        oparams.admission = &config_.admission;
+        oparams.admission_stats = admission_stats_.get();
+      }
       runtime.orderer = std::make_unique<Orderer>(std::move(oparams));
     }
   }
@@ -443,6 +458,10 @@ Status FabricNetwork::StartLoad(
     if (retry.resubmit_on_mvcc) {
       params.resubmit_registry = &resubmit_registry_;
     }
+    if (admission_stats_ != nullptr) {
+      params.admission = &config_.admission;
+      params.admission_stats = admission_stats_.get();
+    }
     if (channels_[0].raft != nullptr) {
       // Replicated ordering: the client broadcasts to replicas with
       // ack-timeout failover instead of the fire-and-forget submit.
@@ -490,7 +509,10 @@ Status FabricNetwork::StartLoad(
     const ChannelAffinityConfig& affinity_config =
         bc.affinity.has_value() ? *bc.affinity : channel_affinity_;
     ClientRetryPolicy retry = bc.retry.has_value() ? *bc.retry : config_.retry;
-    if (bc.num_users < population.aggregation_threshold) {
+    // Surged classes always aggregate: the surge schedule lives in the
+    // class's ArrivalProcess, which per-user actors do not have.
+    if (bc.num_users < population.aggregation_threshold &&
+        bc.surges.empty()) {
       for (uint64_t u = 0; u < bc.num_users; ++u) {
         Client::Params params =
             make_params(actor_index, env_->rng().Fork(4000 + expanded_index),
@@ -511,7 +533,7 @@ Status FabricNetwork::StartLoad(
                       bc.aggregate_rate_tps(), workload, affinity_config,
                       retry);
       ArrivalProcess arrivals(bc.aggregate_rate_tps(), bc.mmpp,
-                              env_->rng().Fork(4800 + ci));
+                              env_->rng().Fork(4800 + ci), bc.surges);
       populations_.push_back(std::make_unique<ClientPopulation>(
           std::move(params), std::move(arrivals)));
       populations_.back()->Start();

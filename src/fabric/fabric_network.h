@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/admission/admission.h"
 #include "src/chaincode/chaincode.h"
 #include "src/chaincode/registry.h"
 #include "src/channels/channel_types.h"
@@ -162,6 +163,12 @@ class FabricNetwork {
   /// fault transitions that fired during the run.
   const FaultInjector* fault_injector() const { return fault_injector_.get(); }
 
+  /// Overload-protection counters; nullptr unless config.admission is
+  /// an enabled config (the legacy pipeline allocates nothing).
+  const AdmissionStats* admission_stats() const {
+    return admission_stats_.get();
+  }
+
  private:
   /// Everything the harness keeps per channel: that channel's ordering
   /// service (exactly one of orderer/raft is set), the cut blocks
@@ -202,6 +209,10 @@ class FabricNetwork {
   std::unique_ptr<CommitPipelines> commit_pipelines_;
   std::unique_ptr<FabricPlusPlusProcessor> fabricpp_;
   std::unique_ptr<FabricSharpProcessor> fabricsharp_;
+  /// Allocated in Init() only when config_.admission.enabled(); shared
+  /// by peers, orderers and clients, so declared before all of them to
+  /// outlive them.
+  std::unique_ptr<AdmissionStats> admission_stats_;
   std::vector<ChannelRuntime> channels_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::vector<Peer*>> peers_by_org_;

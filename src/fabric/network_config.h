@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "src/admission/admission.h"
 #include "src/common/sim_time.h"
 #include "src/faults/fault_plan.h"
 #include "src/sim/executor.h"
@@ -37,8 +38,37 @@ struct ClientRetryPolicy {
   int max_resubmits = 2;
   /// Delay between learning of the MVCC failure and re-endorsing.
   SimTime resubmit_backoff = 50 * kMillisecond;
+  /// Ceiling on the exponential backoff. Without it, a long outage at
+  /// high retry counts schedules virtual sleeps of hours (timeout *
+  /// multiplier^k grows without bound) — the client looks wedged long
+  /// after the fault has cleared. The default caps any wait at 30
+  /// simulated seconds; the stock max_endorse_retries=2 never reaches
+  /// it, so existing configurations are unaffected.
+  SimTime max_backoff = 30 * kSecond;
 
   bool retries_enabled() const { return endorse_timeout > 0; }
+
+  /// Deterministic capped exponential backoff for retry round
+  /// `attempt` (0-based): min(endorse_timeout * multiplier^attempt,
+  /// max_backoff), floored at one tick.
+  SimTime BackoffForAttempt(int attempt) const {
+    double scale = 1.0;
+    for (int i = 0; i < attempt; ++i) {
+      scale *= backoff_multiplier;
+      // Stop early once the cap is unreachable; keeps the loop safe
+      // from overflow at absurd attempt counts.
+      if (max_backoff > 0 &&
+          static_cast<double>(endorse_timeout) * scale >=
+              static_cast<double>(max_backoff)) {
+        return max_backoff;
+      }
+    }
+    SimTime wait =
+        static_cast<SimTime>(static_cast<double>(endorse_timeout) * scale);
+    if (max_backoff > 0 && wait > max_backoff) wait = max_backoff;
+    if (wait < 1) wait = 1;
+    return wait;
+  }
 };
 
 /// Which Fabric build runs the experiment (paper §4.5).
@@ -192,6 +222,12 @@ struct FabricConfig {
   /// Client endorsement timeout/retry + MVCC resubmission. All off by
   /// default (the paper's client behaviour).
   ClientRetryPolicy retry;
+
+  /// Overload protection (src/admission): deadline propagation,
+  /// bounded endorsement/ordering queues, client circuit breaker and
+  /// retry budget. All off by default; a disabled config leaves every
+  /// run bitwise identical to a build without the subsystem.
+  AdmissionConfig admission;
 
   /// Whether clients submit read-only transactions for ordering (the
   /// paper's default flow does; its recommendation #4 is not to).

@@ -51,8 +51,13 @@ void LedgerSummary::Count(const TxValidationResult& result) {
     case TxValidationCode::kAbortedByReordering:
       ++reordering_aborts;
       break;
+    case TxValidationCode::kDeadlineExpiredCommit:
+      ++deadline_expired;
+      break;
     case TxValidationCode::kAbortedNotSerializable:
     case TxValidationCode::kNotValidated:
+    case TxValidationCode::kDeadlineExpiredEndorse:
+    case TxValidationCode::kDeadlineExpiredOrder:
       break;
   }
 }
@@ -65,6 +70,7 @@ void LedgerSummary::Merge(const LedgerSummary& other) {
   mvcc_inter_block += other.mvcc_inter_block;
   phantom_read_conflicts += other.phantom_read_conflicts;
   reordering_aborts += other.reordering_aborts;
+  deadline_expired += other.deadline_expired;
 }
 
 LedgerSummary LedgerParser::Summarize(const BlockStore& store) {

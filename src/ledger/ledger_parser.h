@@ -41,6 +41,9 @@ struct LedgerSummary {
   uint64_t mvcc_inter_block = 0;
   uint64_t phantom_read_conflicts = 0;
   uint64_t reordering_aborts = 0;  // Fabric++ in-ordering aborts
+  /// Marked invalid because the client deadline had passed by the
+  /// block's cut time (overload protection; kDeadlineExpiredCommit).
+  uint64_t deadline_expired = 0;
 
   uint64_t mvcc_total() const { return mvcc_intra_block + mvcc_inter_block; }
   uint64_t failed() const { return total - valid; }

@@ -18,6 +18,12 @@ const char* TxValidationCodeToString(TxValidationCode code) {
       return "ABORTED_NOT_SERIALIZABLE";
     case TxValidationCode::kNotValidated:
       return "NOT_VALIDATED";
+    case TxValidationCode::kDeadlineExpiredEndorse:
+      return "DEADLINE_EXPIRED_ENDORSE";
+    case TxValidationCode::kDeadlineExpiredOrder:
+      return "DEADLINE_EXPIRED_ORDER";
+    case TxValidationCode::kDeadlineExpiredCommit:
+      return "DEADLINE_EXPIRED_COMMIT";
   }
   return "UNKNOWN";
 }

@@ -42,6 +42,18 @@ enum class TxValidationCode : uint8_t {
   kAbortedNotSerializable,
   /// Sentinel for transactions not yet validated.
   kNotValidated,
+  /// Overload protection (src/admission): the transaction's client
+  /// deadline had already passed when an endorser reached it — it was
+  /// shed at the endorsement queue and never proposed for ordering.
+  kDeadlineExpiredEndorse,
+  /// Deadline passed while the envelope queued at orderer ingress;
+  /// dropped before block cutting, never on the ledger.
+  kDeadlineExpiredOrder,
+  /// Deadline had passed by the block's cut time: validators mark the
+  /// transaction invalid without running VSCC/MVCC (the client has
+  /// long stopped waiting). The only deadline class that appears on
+  /// the ledger.
+  kDeadlineExpiredCommit,
 };
 
 const char* TxValidationCodeToString(TxValidationCode code);
@@ -82,6 +94,12 @@ struct Transaction {
 
   /// True when the chaincode function performed no writes.
   bool read_only = false;
+
+  /// Client-stamped absolute deadline (overload protection): past this
+  /// simulated time the submitting client no longer cares about the
+  /// outcome, so every pipeline stage may early-abort the transaction.
+  /// 0 (the default) means no deadline.
+  SimTime deadline = 0;
 
   /// Timestamps along the E-O-V pipeline, for latency metrics.
   SimTime client_submit_time = 0;   ///< proposal sent to endorsers

@@ -23,6 +23,14 @@ const char* TraceTerminalToString(TraceTerminal terminal) {
       return "endorse_timeout";
     case TraceTerminal::kOrdererUnavailable:
       return "orderer_unavailable";
+    case TraceTerminal::kAdmissionShed:
+      return "admission_shed";
+    case TraceTerminal::kDeadlineExpired:
+      return "deadline_expired";
+    case TraceTerminal::kOrdererThrottled:
+      return "orderer_throttled";
+    case TraceTerminal::kBreakerRejected:
+      return "breaker_rejected";
   }
   return "unknown";
 }

@@ -46,6 +46,18 @@ enum class TraceTerminal : uint8_t {
   /// budget: no orderer replica acked the envelope (replicated ordering
   /// mode only).
   kOrdererUnavailable,
+  /// Shed by an endorser's bounded admission queue (overload
+  /// protection); the client fast-fails the transaction.
+  kAdmissionShed,
+  /// The client deadline expired before the transaction reached the
+  /// ledger — noticed at an endorser queue or at orderer ingress.
+  kDeadlineExpired,
+  /// Rejected by the orderer's bounded broadcast ingress; the client
+  /// received an explicit throttle signal.
+  kOrdererThrottled,
+  /// Suppressed at the source: the client's circuit breaker was open
+  /// when the submission was due.
+  kBreakerRejected,
 };
 
 const char* TraceTerminalToString(TraceTerminal terminal);

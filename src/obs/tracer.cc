@@ -30,6 +30,22 @@ void Tracer::OnEarlyAbort(TxId id, TxValidationCode code, SimTime now) {
   aggregates_dirty_ = true;
 }
 
+void Tracer::OnAdmissionDrop(TxId id, TraceTerminal terminal,
+                             TxValidationCode code, SimTime now) {
+  (void)now;
+  TxTrace& trace = Touch(id);
+  trace.terminal = terminal;
+  trace.final_code = code;
+  auto failure = std::make_unique<FailureAttribution>();
+  failure->code = code;
+  trace.failure = std::move(failure);
+  if (streaming_) {
+    FoldTerminal(id);
+    return;
+  }
+  aggregates_dirty_ = true;
+}
+
 void Tracer::OnCommit(TxId id, uint64_t block_number, uint32_t tx_index,
                       const TxValidationResult& result, SimTime now) {
   TxTrace& trace = Touch(id);

@@ -147,6 +147,12 @@ class Tracer {
   }
   /// Ordering-phase abort (Fabric++ / FabricSharp); never on chain.
   void OnEarlyAbort(TxId id, TxValidationCode code, SimTime now);
+  /// Overload-protection drop (shed / deadline-expired / throttled /
+  /// breaker-rejected). Terminal; files an attribution record carrying
+  /// the admission failure class so the export answers "why did this
+  /// transaction fail" for protection casualties too.
+  void OnAdmissionDrop(TxId id, TraceTerminal terminal, TxValidationCode code,
+                       SimTime now);
   void OnBlockCut(TxId id, uint64_t block_number, uint32_t tx_index,
                   SimTime now) {
     TxTrace& trace = Touch(id);

@@ -22,7 +22,12 @@ Orderer::Orderer(Params params)
       peers_(std::move(params.peers)),
       on_block_cut_(std::move(params.on_block_cut)),
       on_early_abort_(std::move(params.on_early_abort)),
-      queue_("orderer") {}
+      queue_("orderer") {
+  if (params.admission != nullptr && params.admission->enabled()) {
+    admission_ = params.admission;
+    admission_stats_ = params.admission_stats;
+  }
+}
 
 void Orderer::SubmitTransaction(Transaction tx) {
   ++txs_received_;
@@ -35,6 +40,23 @@ void Orderer::SubmitTransaction(Transaction tx) {
     return;
   }
   Ingest(std::move(tx));
+}
+
+void Orderer::SubmitTransaction(Transaction tx,
+                                const std::function<void()>& on_throttle) {
+  // Backpressure applies at the broadcast boundary only: a paused
+  // orderer still buffers silently (the client sees latency, not an
+  // error — exactly the legacy pause semantics).
+  if (admission_ != nullptr && admission_->max_orderer_queue_depth > 0 &&
+      !paused_ &&
+      queue_.depth() >= static_cast<size_t>(
+                            admission_->max_orderer_queue_depth)) {
+    ++txs_throttled_;
+    if (admission_stats_ != nullptr) ++admission_stats_->orderer_throttled;
+    if (on_throttle) on_throttle();
+    return;
+  }
+  SubmitTransaction(std::move(tx));
 }
 
 void Orderer::Pause() { paused_ = true; }
@@ -55,6 +77,22 @@ void Orderer::Ingest(Transaction tx) {
   queue_.Submit(
       *env_, [this]() -> SimTime { return timing_.orderer_per_tx_cost; },
       [this, shared_tx]() {
+        if (shared_tx->deadline > 0 && env_->now() > shared_tx->deadline) {
+          // The client stopped caring while the envelope queued at
+          // ingress: drop it before it occupies a block slot and a
+          // validation pass on every peer.
+          ++txs_deadline_dropped_;
+          if (admission_stats_ != nullptr) {
+            ++admission_stats_->deadline_expired_order;
+          }
+          if (Tracer* tracer = env_->tracer()) {
+            tracer->OnAdmissionDrop(shared_tx->id,
+                                    TraceTerminal::kDeadlineExpired,
+                                    TxValidationCode::kDeadlineExpiredOrder,
+                                    env_->now());
+          }
+          return;
+        }
         TxValidationCode reject_code = TxValidationCode::kNotValidated;
         if (processor_ != nullptr &&
             !processor_->Admit(*shared_tx, &reject_code)) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/admission/admission.h"
 #include "src/common/rng.h"
 #include "src/fabric/network_config.h"
 #include "src/ledger/block.h"
@@ -92,6 +93,10 @@ class Orderer {
     std::function<void(std::shared_ptr<Block>)> on_block_cut;
     /// Invoked when a transaction is early-aborted at the orderer.
     std::function<void(const Transaction&, TxValidationCode)> on_early_abort;
+    /// Overload protection (src/admission): bounded broadcast ingress
+    /// and deadline drops. Null = legacy unbounded ingress.
+    const AdmissionConfig* admission = nullptr;
+    AdmissionStats* admission_stats = nullptr;
   };
 
   explicit Orderer(Params params);
@@ -99,6 +104,18 @@ class Orderer {
   /// Handles a transaction submitted by a client (already delivered
   /// through the network).
   void SubmitTransaction(Transaction tx);
+
+  /// Backpressure-aware submission: when the bounded broadcast ingress
+  /// is full, the envelope is rejected and `on_throttle` is invoked
+  /// (the client routes it back over the network as an explicit
+  /// throttle signal). With no admission bound configured this is
+  /// exactly SubmitTransaction.
+  void SubmitTransaction(Transaction tx, const std::function<void()>& on_throttle);
+
+  /// Envelopes rejected by the bounded ingress.
+  uint64_t txs_throttled() const { return txs_throttled_; }
+  /// Envelopes dropped at ingress because their deadline had passed.
+  uint64_t txs_deadline_dropped() const { return txs_deadline_dropped_; }
 
   /// Fault injection: the ordering service stops processing. Arriving
   /// envelopes are buffered at ingress (clients see no error, only
@@ -142,6 +159,8 @@ class Orderer {
   std::vector<Params::PeerEndpoint> peers_;
   std::function<void(std::shared_ptr<Block>)> on_block_cut_;
   std::function<void(const Transaction&, TxValidationCode)> on_early_abort_;
+  const AdmissionConfig* admission_ = nullptr;
+  AdmissionStats* admission_stats_ = nullptr;
 
   WorkQueue queue_;
   uint64_t next_block_number_ = 1;
@@ -152,6 +171,8 @@ class Orderer {
   bool paused_ = false;
   std::vector<Transaction> paused_backlog_;
   uint64_t txs_deferred_while_paused_ = 0;
+  uint64_t txs_throttled_ = 0;
+  uint64_t txs_deadline_dropped_ = 0;
 };
 
 }  // namespace fabricsim

@@ -30,6 +30,12 @@ Peer::Peer(Params params)
       endorse_queue_("endorse"),
       validate_pool_("validate",
                      std::max(params.timing.peer_commit_workers, 1)) {
+  // An AdmissionConfig with nothing enabled is treated as absent, so
+  // harnesses can plumb the config unconditionally.
+  if (params.admission != nullptr && params.admission->enabled()) {
+    admission_ = params.admission;
+    admission_stats_ = params.admission_stats;
+  }
   int num_channels = std::max(params.num_channels, 1);
   channels_.resize(static_cast<size_t>(num_channels));
   for (int c = 0; c < num_channels; ++c) {
@@ -72,6 +78,10 @@ void Peer::HandleProposal(ProposalRequest request) {
     ++proposals_dropped_;
     return;
   }
+  if (admission_ != nullptr) {
+    HandleProposalAdmitted(std::move(request));
+    return;
+  }
   auto result = std::make_shared<EndorsementResult>();
   auto executed = std::make_shared<bool>(false);
   auto req = std::make_shared<ProposalRequest>(std::move(request));
@@ -109,6 +119,154 @@ void Peer::HandleProposal(ProposalRequest request) {
       });
 }
 
+void Peer::CancelProposal(TxId tx_id) {
+  if (!alive_) return;
+  for (const std::shared_ptr<PendingEndorse>& entry : admission_pending_) {
+    if (entry->req.tx_id != tx_id || entry->cancelled) continue;
+    entry->cancelled = true;
+    if (admission_live_ > 0) --admission_live_;
+    if (admission_stats_ != nullptr) ++admission_stats_->endorse_cancelled;
+  }
+}
+
+void Peer::SendRejectReply(const ProposalRequest& request,
+                           ProposalReject why) {
+  ProposalResponse response;
+  response.tx_id = request.tx_id;
+  response.reject = why;
+  // Identify the refusing org so the client can attribute the shed
+  // (and so per-org counters line up with the reply stream).
+  response.endorsement.peer_id = id_;
+  response.endorsement.org_id = org_;
+  request.reply(response);
+}
+
+void Peer::HandleProposalAdmitted(ProposalRequest request) {
+  const AdmissionConfig& cfg = *admission_;
+  const SimTime now = env_->now();
+  // Depth = live proposals waiting or in service. Cancelled husks are
+  // excluded: they drain at zero cost, so counting them would make the
+  // bound shed real work to protect capacity that isn't actually
+  // occupied (a positive feedback loop — every shed creates husks at
+  // the sibling org, which would trigger more sheds there).
+  const uint32_t depth = admission_live_ + (endorse_queue_.busy() ? 1u : 0u);
+  if (admission_stats_ != nullptr) {
+    admission_stats_->endorse_depth.Add(static_cast<double>(depth));
+  }
+
+  // Already-expired proposals are refused at the door: one queue slot
+  // and a full chaincode simulation saved.
+  if (request.deadline > 0 && now > request.deadline) {
+    if (admission_stats_ != nullptr) {
+      ++admission_stats_->deadline_expired_endorse;
+    }
+    SendRejectReply(request, ProposalReject::kExpired);
+    return;
+  }
+
+  if (cfg.max_endorse_queue_depth > 0 &&
+      depth >= cfg.max_endorse_queue_depth) {
+    if (cfg.endorse_policy == AdmissionQueuePolicy::kRejectNew) {
+      if (admission_stats_ != nullptr) admission_stats_->NoteShed(org_);
+      SendRejectReply(request, ProposalReject::kShed);
+      return;
+    }
+    if (cfg.endorse_policy == AdmissionQueuePolicy::kDropOldest) {
+      // Cancelled husks at the front carry no load; discard them
+      // before picking a victim so the eviction frees a live slot.
+      while (!admission_pending_.empty() &&
+             admission_pending_.front()->cancelled) {
+        admission_pending_.pop_front();
+      }
+      if (!admission_pending_.empty()) {
+        // Evict the proposal that has queued longest: it carries the
+        // most endorsement staleness and is the likeliest MVCC
+        // casualty. The victim stays in the serial queue as a
+        // zero-cost husk; the client hears about the shed right away.
+        std::shared_ptr<PendingEndorse> victim = admission_pending_.front();
+        admission_pending_.pop_front();
+        victim->cancelled = true;
+        if (admission_live_ > 0) --admission_live_;
+        if (admission_stats_ != nullptr) admission_stats_->NoteShed(org_);
+        SendRejectReply(victim->req, ProposalReject::kShed);
+      }
+    }
+  }
+
+  auto entry = std::make_shared<PendingEndorse>();
+  entry->req = std::move(request);
+  entry->enqueue_time = now;
+  admission_pending_.push_back(entry);
+  ++admission_live_;
+  endorse_queue_.Submit(
+      *env_,
+      [this, entry]() -> SimTime {
+        if (!admission_pending_.empty() &&
+            admission_pending_.front() == entry) {
+          admission_pending_.pop_front();
+        }
+        if (!alive_) return 0;  // crashed while queued: abandon silently
+        // Drop-oldest victim (already replied) or cancellation-
+        // propagation husk (client long gone): zero-cost drain. Both
+        // left the live count when they were marked.
+        if (entry->cancelled) return 0;
+        if (admission_live_ > 0) --admission_live_;
+        const SimTime now = env_->now();
+        const SimTime sojourn = now - entry->enqueue_time;
+        if (admission_stats_ != nullptr) {
+          admission_stats_->endorse_sojourn_ms.Add(ToMillis(sojourn));
+        }
+        if (entry->req.deadline > 0 && now > entry->req.deadline) {
+          // Expired while queueing: refuse without simulating.
+          entry->refusal = ProposalReject::kExpired;
+          if (admission_stats_ != nullptr) {
+            ++admission_stats_->deadline_expired_endorse;
+          }
+          return 0;
+        }
+        if (admission_->endorse_policy == AdmissionQueuePolicy::kCoDel &&
+            codel_.ShouldDrop(sojourn, now, admission_->codel_target,
+                              admission_->codel_interval)) {
+          entry->refusal = ProposalReject::kShed;
+          if (admission_stats_ != nullptr) admission_stats_->NoteShed(org_);
+          return 0;
+        }
+        ChannelLedger& ch = Channel(entry->req.channel);
+        entry->result = SimulateProposal(*ch.endorse_view, *ch.chaincode,
+                                         entry->req.invocation,
+                                         db_profile_.supports_rich_queries);
+        entry->executed = true;
+        SimTime service = timing_.proposal_overhead +
+                          db_profile_.EndorseCost(entry->result.rwset) +
+                          timing_.endorsement_sign_cost;
+        return static_cast<SimTime>(static_cast<double>(service) *
+                                    JitterFactor());
+      },
+      [this, entry]() {
+        if (entry->cancelled) return;  // reply sent at eviction
+        if (entry->refusal != ProposalReject::kNone) {
+          if (!alive_) {
+            ++proposals_dropped_;
+            return;
+          }
+          SendRejectReply(entry->req, entry->refusal);
+          return;
+        }
+        if (!entry->executed || !alive_) {
+          ++proposals_dropped_;
+          return;
+        }
+        ProposalResponse response;
+        response.tx_id = entry->req.tx_id;
+        response.app_ok = entry->result.app_status.ok();
+        response.app_error = entry->result.app_status.message();
+        response.rwset = std::move(entry->result.rwset);
+        response.endorsement = Endorsement{
+            id_, org_, response.rwset.Digest(), /*signature_valid=*/true};
+        entry->req.reply(response);
+      });
+}
+
 void Peer::HandleBlock(std::shared_ptr<const Block> block) {
   if (!alive_) {
     ++blocks_dropped_;
@@ -132,6 +290,12 @@ void Peer::Crash() {
     blocks_dropped_ += ch.reorder_buffer.size();
     ch.reorder_buffer.clear();
   }
+  // Queued proposals die with the process; their husks drain through
+  // the serial queue at zero cost (the at_start alive_ check), exactly
+  // like the legacy crash path. No shed replies: a dead endpoint
+  // cannot answer, the client learns via its own timeout.
+  admission_pending_.clear();
+  admission_live_ = 0;
 }
 
 void Peer::Restart() {

@@ -1,11 +1,13 @@
 #ifndef FABRICSIM_PEER_PEER_H_
 #define FABRICSIM_PEER_PEER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "src/admission/admission.h"
 #include "src/chaincode/chaincode.h"
 #include "src/channels/channel_types.h"
 #include "src/channels/channel_work_pool.h"
@@ -30,7 +32,21 @@ struct ProposalRequest {
   TxId tx_id = 0;
   ChannelId channel = 0;
   Invocation invocation;
+  /// Client deadline carried with the proposal (overload protection);
+  /// 0 = none.
+  SimTime deadline = 0;
   std::function<void(const struct ProposalResponse&)> reply;
+};
+
+/// Why an endorser refused to execute a proposal (overload protection
+/// only; kNone on the legacy path).
+enum class ProposalReject : uint8_t {
+  kNone = 0,
+  /// Shed by the bounded admission queue (reject-new / drop-oldest /
+  /// CoDel).
+  kShed,
+  /// The proposal's deadline had already passed.
+  kExpired,
 };
 
 /// The endorsement response (flow step 2).
@@ -40,6 +56,9 @@ struct ProposalResponse {
   ReadWriteSet rwset;
   bool app_ok = true;
   std::string app_error;
+  /// Set when the endorser refused the proposal instead of executing
+  /// it; endorsement/rwset are empty in that case.
+  ProposalReject reject = ProposalReject::kNone;
 };
 
 /// A peer node: endorser + validator + committer over its own
@@ -99,6 +118,10 @@ class Peer {
     std::function<void(ChannelId channel, uint64_t block_number,
                        const ValidationOutcome& outcome)>
         on_commit;
+    /// Overload protection (src/admission). Null = legacy unbounded
+    /// endorsement queue, byte-identical to the pre-admission peer.
+    const AdmissionConfig* admission = nullptr;
+    AdmissionStats* admission_stats = nullptr;
   };
 
   explicit Peer(Params params);
@@ -113,6 +136,13 @@ class Peer {
   /// Handles an endorsement proposal (already delivered through the
   /// network). Queues chaincode execution on the endorsement queue.
   void HandleProposal(ProposalRequest request);
+
+  /// Cancellation propagation (admission path only): the client
+  /// abandoned this transaction — another org shed or expired it — so
+  /// any sibling proposal still queued here becomes a zero-cost husk
+  /// instead of burning a full chaincode simulation on a transaction
+  /// that can no longer commit. No reply is sent; the client is gone.
+  void CancelProposal(TxId tx_id);
 
   /// Handles a block delivered by the ordering service. Blocks may
   /// arrive out of order; the peer buffers and validates each
@@ -209,6 +239,25 @@ class Peer {
     SimTime last_snapshot_apply = 0;
   };
 
+  /// One proposal tracked by the admission machinery while it queues.
+  struct PendingEndorse {
+    ProposalRequest req;
+    SimTime enqueue_time = 0;
+    /// Evicted by drop-oldest before reaching the server; the shed
+    /// reply was already sent at eviction time.
+    bool cancelled = false;
+    /// Refused at dequeue (deadline / CoDel); reply sent at drain.
+    ProposalReject refusal = ProposalReject::kNone;
+    bool executed = false;
+    EndorsementResult result;
+  };
+
+  /// HandleProposal body when an AdmissionConfig is active.
+  void HandleProposalAdmitted(ProposalRequest request);
+  /// Sends the refusal response back to the client (same reply path as
+  /// a served endorsement, so it costs one network hop).
+  void SendRejectReply(const ProposalRequest& request, ProposalReject why);
+
   void CatchUp();
   void TryProcessBuffered(ChannelLedger& ch);
   void ProcessBlock(std::shared_ptr<const Block> block);
@@ -244,6 +293,18 @@ class Peer {
 
   WorkQueue endorse_queue_;
   ChannelWorkPool validate_pool_;
+
+  /// Overload protection (null/unused on the legacy path).
+  const AdmissionConfig* admission_ = nullptr;
+  AdmissionStats* admission_stats_ = nullptr;
+  CoDelState codel_;
+  /// Proposals admitted but not yet started, oldest first — the
+  /// drop-oldest eviction candidates. Entries leave from the front as
+  /// the serial queue starts them.
+  std::deque<std::shared_ptr<PendingEndorse>> admission_pending_;
+  /// Non-cancelled entries of admission_pending_ (cancelled husks cost
+  /// nothing to drain, so admission bounds must not count them).
+  uint32_t admission_live_ = 0;
 
   bool alive_ = true;
   BlockFetcher block_fetcher_;

@@ -37,6 +37,16 @@ TxValidationResult Validator::ValidateTx(const StateDatabase& db,
                                          const Transaction& tx) const {
   TxValidationResult result;
 
+  // --- Deadline (overload protection) --------------------------------
+  // A pure function of block content (deadline vs the block's cut
+  // time, never a per-peer clock), so every replica, the shared
+  // outcome cache and the threaded precheck all agree — and the
+  // VSCC/MVCC work below is skipped for a transaction nobody awaits.
+  if (tx.deadline > 0 && block.cut_time > tx.deadline) {
+    result.code = TxValidationCode::kDeadlineExpiredCommit;
+    return result;
+  }
+
   // --- VSCC: endorsement policy --------------------------------------
   if (!CheckVscc(tx)) {
     result.code = TxValidationCode::kEndorsementPolicyFailure;

@@ -3,7 +3,7 @@
 namespace fabricsim {
 
 void ClientPopulation::ScheduleNext() {
-  SimTime gap = arrivals_.NextGap();
+  SimTime gap = arrivals_.NextGap(env_->now());
   if (gap == kSimTimeNever) return;  // silent class: no arrivals ever
   env_->Schedule(gap, [this]() {
     if (env_->now() > load_end_time_) return;  // load phase over

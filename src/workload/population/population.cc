@@ -1,6 +1,7 @@
 #include "src/workload/population/population.h"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 namespace fabricsim {
@@ -55,6 +56,22 @@ Status PopulationConfig::Validate() const {
       return Status::InvalidArgument("behaviour class '" + cls.name +
                                      "' modulates its rate to zero");
     }
+    for (const SurgeWindow& surge : cls.surges) {
+      if (surge.start < 0 || surge.end <= surge.start ||
+          surge.multiplier < 0.0) {
+        return Status::InvalidArgument(
+            "behaviour class '" + cls.name +
+            "' has a malformed surge window (need 0 <= start < end, "
+            "multiplier >= 0)");
+      }
+      for (const SurgeWindow& other : cls.surges) {
+        if (&other == &surge) continue;
+        if (surge.start < other.end && other.start < surge.end) {
+          return Status::InvalidArgument("behaviour class '" + cls.name +
+                                         "' has overlapping surge windows");
+        }
+      }
+    }
   }
   return Status::OK();
 }
@@ -73,12 +90,37 @@ PopulationConfig PopulationConfig::SingleClass(uint64_t num_users,
   return config;
 }
 
-ArrivalProcess::ArrivalProcess(double rate_tps, MmppConfig mmpp, Rng rng)
-    : rate_tps_(rate_tps), mmpp_(std::move(mmpp)), rng_(rng) {
+ArrivalProcess::ArrivalProcess(double rate_tps, MmppConfig mmpp, Rng rng,
+                               std::vector<SurgeWindow> surges)
+    : rate_tps_(rate_tps),
+      mmpp_(std::move(mmpp)),
+      rng_(rng),
+      surges_(std::move(surges)) {
   if (mmpp_.enabled()) {
     remaining_in_state_us_ =
         rng_.Exponential(static_cast<double>(mmpp_.states[0].mean_sojourn));
   }
+}
+
+double ArrivalProcess::SurgeMultiplierAt(double t_us) const {
+  for (const SurgeWindow& surge : surges_) {
+    if (t_us >= static_cast<double>(surge.start) &&
+        t_us < static_cast<double>(surge.end)) {
+      return surge.multiplier;
+    }
+  }
+  return 1.0;
+}
+
+double ArrivalProcess::NextSurgeBoundaryAfter(double t_us) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const SurgeWindow& surge : surges_) {
+    double start = static_cast<double>(surge.start);
+    double end = static_cast<double>(surge.end);
+    if (start > t_us && start < next) next = start;
+    if (end > t_us && end < next) next = end;
+  }
+  return next;
 }
 
 void ArrivalProcess::AdvanceState() {
@@ -92,30 +134,69 @@ void ArrivalProcess::AdvanceState() {
       rng_.Exponential(static_cast<double>(mmpp_.states[state_].mean_sojourn));
 }
 
-SimTime ArrivalProcess::NextGap() {
+SimTime ArrivalProcess::NextGap(SimTime now) {
+  if (surges_.empty()) {
+    // Legacy (un-surged) path, floating-point-op for floating-point-op
+    // the original: reassociating the arithmetic below would perturb
+    // gaps by an ulp and break bitwise-identity goldens.
+    double offset_us = 0.0;
+    for (;;) {
+      double multiplier =
+          mmpp_.enabled() ? mmpp_.states[state_].rate_multiplier : 1.0;
+      double rate = rate_tps_ * multiplier;
+      if (rate > 0.0) {
+        double draw = rng_.Exponential(1e6 / rate);
+        if (!mmpp_.enabled() || draw < remaining_in_state_us_) {
+          if (mmpp_.enabled()) remaining_in_state_us_ -= draw;
+          SimTime gap = static_cast<SimTime>(std::llround(offset_us + draw));
+          return gap < 1 ? 1 : gap;
+        }
+      } else if (!mmpp_.enabled()) {
+        // Unmodulated zero rate cannot produce arrivals; report a huge
+        // gap instead of spinning (callers validate rate > 0 anyway).
+        return kSimTimeNever;
+      }
+      // No arrival before the state switch (or a silent state): consume
+      // the rest of the sojourn and redraw under the next state's rate —
+      // exact for piecewise-constant-rate Poisson thanks to
+      // memorylessness.
+      offset_us += remaining_in_state_us_;
+      AdvanceState();
+    }
+  }
+
+  // Surged path: the instantaneous rate is piecewise constant along
+  // two clocks — the MMPP sojourn (relative, random) and the surge
+  // schedule (absolute, deterministic). Each iteration integrates one
+  // constant-rate segment up to whichever boundary comes first;
+  // memorylessness makes the segment-by-segment redraw exact.
   double offset_us = 0.0;
   for (;;) {
-    double multiplier =
+    double pos_us = static_cast<double>(now) + offset_us;
+    double mmpp_mult =
         mmpp_.enabled() ? mmpp_.states[state_].rate_multiplier : 1.0;
-    double rate = rate_tps_ * multiplier;
+    double segment_us = NextSurgeBoundaryAfter(pos_us) - pos_us;
+    bool mmpp_first =
+        mmpp_.enabled() && remaining_in_state_us_ <= segment_us;
+    if (mmpp_first) segment_us = remaining_in_state_us_;
+    double rate = rate_tps_ * mmpp_mult * SurgeMultiplierAt(pos_us);
     if (rate > 0.0) {
       double draw = rng_.Exponential(1e6 / rate);
-      if (!mmpp_.enabled() || draw < remaining_in_state_us_) {
+      if (draw < segment_us) {
         if (mmpp_.enabled()) remaining_in_state_us_ -= draw;
         SimTime gap = static_cast<SimTime>(std::llround(offset_us + draw));
         return gap < 1 ? 1 : gap;
       }
-    } else if (!mmpp_.enabled()) {
-      // Unmodulated zero rate cannot produce arrivals; report a huge
-      // gap instead of spinning (callers validate rate > 0 anyway).
+    } else if (std::isinf(segment_us)) {
+      // Rate modulated to zero with no boundary ahead: silent forever.
       return kSimTimeNever;
     }
-    // No arrival before the state switch (or a silent state): consume
-    // the rest of the sojourn and redraw under the next state's rate —
-    // exact for piecewise-constant-rate Poisson thanks to
-    // memorylessness.
-    offset_us += remaining_in_state_us_;
-    AdvanceState();
+    offset_us += segment_us;
+    if (mmpp_first) {
+      AdvanceState();
+    } else if (mmpp_.enabled()) {
+      remaining_in_state_us_ -= segment_us;
+    }
   }
 }
 

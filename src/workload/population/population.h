@@ -50,6 +50,18 @@ struct MmppConfig {
   }
 };
 
+/// One deterministic surge window: while simulated time is in
+/// [start, end) the class's arrival rate is scaled by `multiplier`
+/// (on top of any MMPP modulation). Unlike the MMPP — a random
+/// environment — surges are scheduled facts ("flash sale at minute
+/// two"), which is exactly what overload-protection experiments need:
+/// the same overload hits at the same instant on every seed.
+struct SurgeWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  double multiplier = 1.0;
+};
+
 /// One behaviour class of the client population: `num_users` open-loop
 /// users, each submitting at `per_user_tps`, sharing a retry policy,
 /// channel affinity, and chaincode function mix. Small classes expand
@@ -74,6 +86,13 @@ struct BehaviourClass {
   std::optional<WorkloadMix> mix;
   /// Optional MMPP modulation of the class's aggregate rate.
   MmppConfig mmpp;
+  /// Deterministic surge schedule (piecewise rate multiplier in
+  /// absolute simulated time). Windows must be well-formed
+  /// (start < end, multiplier >= 0) and non-overlapping; outside every
+  /// window the multiplier is 1. A class with surges always runs
+  /// aggregated — the surge clock lives in the class's arrival
+  /// process, not in per-user actors.
+  std::vector<SurgeWindow> surges;
 
   double aggregate_rate_tps() const {
     return per_user_tps * static_cast<double>(num_users);
@@ -110,20 +129,30 @@ struct PopulationConfig {
 /// Client arrival clock.
 class ArrivalProcess {
  public:
-  ArrivalProcess(double rate_tps, MmppConfig mmpp, Rng rng);
+  ArrivalProcess(double rate_tps, MmppConfig mmpp, Rng rng,
+                 std::vector<SurgeWindow> surges = {});
 
-  /// Gap from now to the next arrival, advancing the modulation chain.
-  SimTime NextGap();
+  /// Gap from `now` to the next arrival, advancing the modulation
+  /// chain. `now` anchors the deterministic surge schedule (ignored —
+  /// and the draw sequence unchanged — when no surges are configured).
+  SimTime NextGap(SimTime now);
 
-  /// Long-run mean arrival rate, modulation included.
+  /// Long-run mean arrival rate, MMPP modulation included. Surge
+  /// windows are transient and deliberately excluded.
   double mean_rate_tps() const;
 
  private:
   void AdvanceState();
+  /// Surge multiplier in effect at absolute time `t_us` (1.0 outside
+  /// every window) and the first window boundary strictly after it
+  /// (infinity when none remains).
+  double SurgeMultiplierAt(double t_us) const;
+  double NextSurgeBoundaryAfter(double t_us) const;
 
   double rate_tps_;
   MmppConfig mmpp_;
   Rng rng_;
+  std::vector<SurgeWindow> surges_;
   size_t state_ = 0;
   /// Simulated time left in the current MMPP state (modulated only).
   double remaining_in_state_us_ = 0.0;

@@ -187,7 +187,7 @@ TEST(PopulationTest, ArrivalGapsReproduceTheNominalRate) {
   const int n = 100000;
   double total_us = 0.0;
   for (int i = 0; i < n; ++i) {
-    SimTime gap = arrivals.NextGap();
+    SimTime gap = arrivals.NextGap(0);
     ASSERT_GE(gap, 1);
     total_us += static_cast<double>(gap);
   }
@@ -207,7 +207,7 @@ TEST(PopulationTest, MmppModulationPreservesTheLongRunMean) {
   const int n = 200000;
   double total_us = 0.0;
   for (int i = 0; i < n; ++i) {
-    total_us += static_cast<double>(arrivals.NextGap());
+    total_us += static_cast<double>(arrivals.NextGap(0));
   }
   double measured_tps = 1e6 * n / total_us;
   EXPECT_GT(measured_tps, 900.0);
