@@ -1,0 +1,136 @@
+// Composite-key asset transfer: the classic Fabric starter contract
+// (create/transfer/query-by-owner) as a phantom-abort case study.
+// Every asset carries TWO composite-keyed rows — the ASSET record and
+// an OWNED(owner, asset) index entry — so a transfer deletes one index
+// row and inserts another, perturbing exactly the owner subtrees that
+// queryByOwner range-scans with phantom checking. Under concurrent
+// load the queries abort with PHANTOM_READ_CONFLICT even though no
+// key they read was overwritten: the *membership* of the scanned
+// interval changed. This example runs the mix with lifecycle tracing,
+// attributes the aborts per composite-key table, decodes the hottest
+// keys, and narrates one phantom end to end.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/asset_transfer_scenario
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaincode/composite_key.h"
+#include "src/core/experiment.h"
+#include "src/fabric/fabric_network.h"
+#include "src/workload/paper_workloads.h"
+
+int main() {
+  using namespace fabricsim;
+
+  ExperimentConfig config = ExperimentConfig::Builder()
+                                .Chaincode("asset")
+                                .RateTps(120)
+                                .Duration(30 * kSecond)
+                                .Tracing()
+                                .Build();
+
+  std::printf("composite-key asset transfer\n");
+  std::printf("============================\n");
+  std::printf("config: %s\n\n", config.Describe().c_str());
+
+  // Drive one network directly so the tracer stays alive for the
+  // attribution queries below.
+  auto chaincode = MakeChaincodeFor(config.workload).value();
+  auto workload = std::shared_ptr<WorkloadGenerator>(
+      std::move(MakeWorkload(config.workload, /*rich=*/true).value()));
+  Environment env(config.base_seed);
+  FabricNetwork network(config.fabric, &env, chaincode, workload);
+  if (!network.Init().ok()) {
+    std::fprintf(stderr, "network init failed\n");
+    return 1;
+  }
+  network.StartLoad(config.arrival_rate_tps, config.duration);
+  env.RunAll();
+
+  // --- who fails, per chaincode function -----------------------------
+  // The ledger keeps aborted transactions (the paper's methodology),
+  // so the per-function failure profile falls out of one walk.
+  struct FnRow {
+    uint64_t valid = 0, mvcc = 0, phantom = 0, other = 0;
+  };
+  std::map<std::string, FnRow> per_function;
+  for (const Block& block : network.ledger().blocks()) {
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      FnRow& row = per_function[block.txs[i].function];
+      switch (block.results[i].code) {
+        case TxValidationCode::kValid: ++row.valid; break;
+        case TxValidationCode::kMvccReadConflict: ++row.mvcc; break;
+        case TxValidationCode::kPhantomReadConflict: ++row.phantom; break;
+        default: ++row.other; break;
+      }
+    }
+  }
+  std::printf("per-function outcomes:\n");
+  std::printf("  %-14s %8s %8s %8s %8s\n", "function", "valid", "mvcc",
+              "phantom", "other");
+  for (const auto& [fn, row] : per_function) {
+    std::printf("  %-14s %8llu %8llu %8llu %8llu\n", fn.c_str(),
+                static_cast<unsigned long long>(row.valid),
+                static_cast<unsigned long long>(row.mvcc),
+                static_cast<unsigned long long>(row.phantom),
+                static_cast<unsigned long long>(row.other));
+  }
+
+  // --- the hot composite keys, decoded -------------------------------
+  std::printf("\ntop conflicting keys (decoded composite keys):\n");
+  for (const auto& [key, count] : network.tracer()->TopConflictingKeys(8)) {
+    std::string type;
+    std::vector<std::string> attrs;
+    std::string decoded = key;
+    if (SplitCompositeKey(key, &type, &attrs)) {
+      decoded = type + "(";
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        decoded += (i ? ", " : "") + attrs[i];
+      }
+      decoded += ")";
+    }
+    std::printf("  %-32s %8llu conflicts\n", decoded.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  // --- narrate one phantom -------------------------------------------
+  for (const TxTrace* trace : network.tracer()->SortedTraces()) {
+    if (trace->final_code != TxValidationCode::kPhantomReadConflict) continue;
+    std::printf("\nwhy did tx %llu (%s) fail?\n",
+                static_cast<unsigned long long>(trace->id),
+                trace->function.c_str());
+    std::printf("  it range-scanned one owner's OWNED subtree at "
+                "endorsement time;\n");
+    if (trace->failure != nullptr && !trace->failure->conflicting_key.empty()) {
+      std::string type;
+      std::vector<std::string> attrs;
+      if (SplitCompositeKey(trace->failure->conflicting_key, &type, &attrs) &&
+          attrs.size() == 2) {
+        std::printf("  by commit time a transfer had %s the index row "
+                    "%s(%s, %s) inside\n  that interval",
+                    trace->failure->observed_found ? "inserted" : "deleted",
+                    type.c_str(), attrs[0].c_str(), attrs[1].c_str());
+      } else {
+        std::printf("  by commit time the interval's membership had "
+                    "changed at key \"%s\"",
+                    trace->failure->conflicting_key.c_str());
+      }
+      std::printf(" — no key it READ was\n  overwritten, but the re-scan "
+                  "no longer matches, so the validator\n  returned "
+                  "PHANTOM_READ_CONFLICT (block %llu).\n",
+                  static_cast<unsigned long long>(trace->block_number));
+    }
+    break;
+  }
+
+  std::printf("\ntakeaway: pair every mutable entity with its index rows "
+              "and the\nrange scans over them become the failure "
+              "hotspot — phantom aborts\nscale with writer concurrency "
+              "even when readers and writers touch\ndisjoint keys.\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+// Cross-channel transfer: moving value between two channels with a
+// client-side saga. Channels are independent chains — separate
+// ledgers, separate world states, no cross-channel transactions — so
+// an "inter-channel transfer" is necessarily TWO transactions: a
+// debit on the source channel and a matching credit on the
+// destination channel, stitched together by the client. The asset
+// chaincode keeps its balance checks client-side for exactly this
+// reason: each leg is a plain read-modify-write that can commit (or
+// MVCC-abort) on its own chain.
+//
+// That independence is the failure mode. Both legs race other traffic
+// on a handful of hot ACCT rows; when one leg validates and the other
+// takes an MVCC_READ_CONFLICT, the transfer is half-applied and the
+// two chains drift out of sync. The fix is the client retry loop from
+// the overload-protection work: ClientRetryPolicy::resubmit_on_mvcc
+// re-endorses and resubmits a failed leg as a fresh transaction after
+// a backoff — on BOTH legs, because healing only one side makes the
+// drift worse (committed credits with permanently lost debits). This
+// example runs the same two-leg load twice — fire-and-forget, then
+// with resubmission — and audits both ledgers for the money that went
+// missing in between.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/cross_channel_transfer
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/fabric/fabric_network.h"
+#include "src/workload/paper_workloads.h"
+#include "src/workload/population/population.h"
+
+using namespace fabricsim;
+
+namespace {
+
+constexpr int kAccounts = 50;       // ACCT rows per channel (hot set)
+constexpr ChannelId kSource = 0;    // debit leg lands here
+constexpr ChannelId kDest = 1;      // credit leg lands here
+
+// The client-side transfer log: the debit generator appends each
+// (account, amount) pair it issues, the credit generator replays them
+// in order on the other channel. One shared instance per run — the
+// same stitching a real cross-channel client would keep in memory.
+struct TransferLog {
+  std::vector<std::pair<int, long long>> pairs;
+  size_t next_debit = 0;
+  size_t next_credit = 0;
+};
+
+// Each leg carries its transfer id as a third argument — the contract
+// ignores extras, but the ledger audit below can then join the two
+// chains pair-for-pair instead of netting totals (which would let a
+// lost debit cancel a lost credit).
+Invocation LegInvocation(const char* function, size_t transfer_id,
+                         const std::pair<int, long long>& pair) {
+  return Invocation{function,
+                    {std::to_string(pair.first), std::to_string(pair.second),
+                     std::to_string(transfer_id)}};
+}
+
+std::shared_ptr<WorkloadGenerator> DebitLeg(std::shared_ptr<TransferLog> log) {
+  std::vector<FunctionMixWorkload::Entry> entries;
+  entries.push_back({1.0, [log](Rng& rng) {
+                       size_t id = log->next_debit++;
+                       if (id >= log->pairs.size()) {
+                         log->pairs.emplace_back(
+                             static_cast<int>(rng.UniformU64(kAccounts)),
+                             100 +
+                                 static_cast<long long>(rng.UniformU64(900)));
+                       }
+                       return LegInvocation("debit", id, log->pairs[id]);
+                     }});
+  return std::make_shared<FunctionMixWorkload>("asset", std::move(entries));
+}
+
+std::shared_ptr<WorkloadGenerator> CreditLeg(std::shared_ptr<TransferLog> log) {
+  std::vector<FunctionMixWorkload::Entry> entries;
+  entries.push_back({1.0, [log](Rng& rng) {
+                       // Replay the oldest un-credited debit. If the
+                       // credit clock briefly outruns the debit clock
+                       // (independent Poisson arrivals), mint the pair
+                       // here — the debit leg will replay it from the
+                       // log in turn, keeping the streams aligned
+                       // pair-for-pair.
+                       size_t id = log->next_credit++;
+                       if (id >= log->pairs.size()) {
+                         log->pairs.emplace_back(
+                             static_cast<int>(rng.UniformU64(kAccounts)),
+                             100 +
+                                 static_cast<long long>(rng.UniformU64(900)));
+                       }
+                       return LegInvocation("credit", id, log->pairs[id]);
+                     }});
+  return std::make_shared<FunctionMixWorkload>("asset", std::move(entries));
+}
+
+// Valid legs per transfer id on one channel (a leg commits at most
+// once: a resubmission only goes out after the original aborted).
+std::map<size_t, long long> CommittedLegs(const BlockStore& ledger,
+                                          const std::string& function,
+                                          uint64_t* aborted) {
+  std::map<size_t, long long> legs;
+  for (const Block& block : ledger.blocks()) {
+    for (size_t i = 0; i < block.txs.size(); ++i) {
+      if (block.txs[i].function != function) continue;
+      if (block.results[i].code == TxValidationCode::kValid) {
+        legs[static_cast<size_t>(std::atoll(block.txs[i].args[2].c_str()))] =
+            std::atoll(block.txs[i].args[1].c_str());
+      } else if (block.results[i].code ==
+                     TxValidationCode::kMvccReadConflict ||
+                 block.results[i].code ==
+                     TxValidationCode::kPhantomReadConflict) {
+        ++*aborted;
+      }
+    }
+  }
+  return legs;
+}
+
+struct RunOutcome {
+  uint64_t debit_commits = 0, debit_aborts = 0;
+  uint64_t credit_commits = 0, credit_aborts = 0;
+  uint64_t complete = 0;        // both legs landed
+  uint64_t stuck_count = 0;     // debit landed, credit did not
+  long long stuck_cents = 0;    // value leaked out of the source chain
+  uint64_t conjured_count = 0;  // credit landed, debit did not
+  long long conjured_cents = 0; // value minted on the destination chain
+};
+
+RunOutcome RunTwoLegLoad(bool resubmit_on_mvcc) {
+  ExperimentConfig config = ExperimentConfig::Builder()
+                                .Chaincode("asset")
+                                .Channels(2)
+                                .BlockSize(20)  // short conflict window
+                                .Duration(60 * kSecond)
+                                .Build();
+  config.workload.asset.owners = kAccounts;
+
+  auto chaincode = MakeChaincodeFor(config.workload).value();
+  auto shared = std::shared_ptr<WorkloadGenerator>(
+      std::move(MakeWorkload(config.workload, /*rich=*/true).value()));
+  Environment env(config.base_seed);
+  FabricNetwork network(config.fabric, &env, chaincode, shared);
+  if (!network.Init().ok()) {
+    std::fprintf(stderr, "network init failed\n");
+    std::exit(1);
+  }
+
+  ClientRetryPolicy retry;  // defaults: fire-and-forget
+  retry.resubmit_on_mvcc = resubmit_on_mvcc;
+  retry.max_resubmits = 5;
+
+  PopulationConfig population;
+  BehaviourClass debit_class;
+  debit_class.name = "debit-leg";
+  debit_class.num_users = 4;
+  debit_class.per_user_tps = 5;  // 20 tps on the source channel
+  debit_class.affinity = ChannelAffinityConfig{};
+  debit_class.affinity->pinned_channel = kSource;
+  debit_class.retry = retry;
+  population.classes.push_back(debit_class);
+
+  BehaviourClass credit_class = debit_class;
+  credit_class.name = "credit-leg";
+  credit_class.affinity->pinned_channel = kDest;
+  population.classes.push_back(credit_class);
+
+  auto log = std::make_shared<TransferLog>();
+  Status st = network.StartLoad(population, config.duration,
+                                {DebitLeg(log), CreditLeg(log)});
+  if (!st.ok()) {
+    std::fprintf(stderr, "start load: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  env.RunAll();
+
+  RunOutcome o;
+  std::map<size_t, long long> debits =
+      CommittedLegs(network.ledger(kSource), "debit", &o.debit_aborts);
+  std::map<size_t, long long> credits =
+      CommittedLegs(network.ledger(kDest), "credit", &o.credit_aborts);
+  o.debit_commits = debits.size();
+  o.credit_commits = credits.size();
+  for (const auto& [id, cents] : debits) {
+    if (credits.count(id)) {
+      ++o.complete;
+    } else {
+      ++o.stuck_count;
+      o.stuck_cents += cents;
+    }
+  }
+  for (const auto& [id, cents] : credits) {
+    if (!debits.count(id)) {
+      ++o.conjured_count;
+      o.conjured_cents += cents;
+    }
+  }
+  return o;
+}
+
+void PrintOutcome(const char* label, const RunOutcome& o) {
+  std::printf("%s\n", label);
+  std::printf("  %-36s %8llu committed, %5llu mvcc-aborted\n",
+              "debit legs  (source channel 0)",
+              static_cast<unsigned long long>(o.debit_commits),
+              static_cast<unsigned long long>(o.debit_aborts));
+  std::printf("  %-36s %8llu committed, %5llu mvcc-aborted\n",
+              "credit legs (dest   channel 1)",
+              static_cast<unsigned long long>(o.credit_commits),
+              static_cast<unsigned long long>(o.credit_aborts));
+  std::printf("  %-36s %8llu\n", "transfers fully landed",
+              static_cast<unsigned long long>(o.complete));
+  std::printf("  %-36s %8llu (%lld cents left the source chain "
+              "unmatched)\n",
+              "half-applied: debit leg only",
+              static_cast<unsigned long long>(o.stuck_count), o.stuck_cents);
+  std::printf("  %-36s %8llu (%lld cents appeared on the destination "
+              "unmatched)\n\n",
+              "half-applied: credit leg only",
+              static_cast<unsigned long long>(o.conjured_count),
+              o.conjured_cents);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cross-channel two-leg transfer (asset chaincode, 2 "
+              "channels, 20+20 tps)\n");
+  std::printf("======================================================="
+              "==============\n\n");
+
+  RunOutcome naive = RunTwoLegLoad(/*resubmit_on_mvcc=*/false);
+  RunOutcome healed = RunTwoLegLoad(/*resubmit_on_mvcc=*/true);
+
+  PrintOutcome("fire-and-forget (no retry):", naive);
+  PrintOutcome("both legs resubmit on MVCC conflict:", healed);
+
+  uint64_t naive_half = naive.stuck_count + naive.conjured_count;
+  uint64_t healed_half = healed.stuck_count + healed.conjured_count;
+  std::printf("takeaway: a leg that MVCC-aborts while its twin commits "
+              "leaves the\ntransfer half-applied — money gone from one "
+              "chain or minted on the\nother. Client-side resubmission "
+              "of failed legs cut the half-applied\ntransfers from "
+              "%llu to %llu (%llu -> %llu fully landed); the residue\n"
+              "is legs still dead after the resubmit budget, which a "
+              "real saga\nwould reconcile with a compensating "
+              "transaction on the committed\nside.\n",
+              static_cast<unsigned long long>(naive_half),
+              static_cast<unsigned long long>(healed_half),
+              static_cast<unsigned long long>(naive.complete),
+              static_cast<unsigned long long>(healed.complete));
+  return 0;
+}

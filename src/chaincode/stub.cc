@@ -44,6 +44,13 @@ std::vector<StateEntry> ChaincodeStub::GetStateByRange(
   return entries;
 }
 
+std::vector<StateEntry> ChaincodeStub::GetStateByPartialCompositeKey(
+    const std::string& object_type,
+    const std::vector<std::string>& partial_attributes) {
+  auto [start, end] = CompositeKeyRange(object_type, partial_attributes);
+  return GetStateByRange(start, end);
+}
+
 Result<std::vector<StateEntry>> ChaincodeStub::GetQueryResult(
     const std::string& selector) {
   if (!rich_queries_supported_) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chaincode/composite_key.h"
 #include "src/common/status.h"
 #include "src/ledger/rwset.h"
 #include "src/statedb/rich_query.h"
@@ -47,6 +48,29 @@ class ChaincodeStub {
   /// Rich selector query (CouchDB only). The result footprint is
   /// recorded with phantom_check=false.
   Result<std::vector<StateEntry>> GetQueryResult(const std::string& selector);
+
+  /// Prefix scan over the composite keys of `object_type` whose first
+  /// attributes equal `partial_attributes` (Fabric's
+  /// GetStateByPartialCompositeKey). A plain GetStateByRange over
+  /// CompositeKeyRange(), so the footprint is phantom-checked like any
+  /// range read.
+  std::vector<StateEntry> GetStateByPartialCompositeKey(
+      const std::string& object_type,
+      const std::vector<std::string>& partial_attributes);
+
+  /// Shared composite-key helpers (see src/chaincode/composite_key.h
+  /// for the layout and separator-escaping contract). Statics on the
+  /// stub so chaincode reads like its Fabric counterpart.
+  static std::string CreateCompositeKey(
+      const std::string& object_type,
+      const std::vector<std::string>& attributes) {
+    return MakeCompositeKey(object_type, attributes);
+  }
+  static bool SplitCompositeKey(const std::string& key,
+                                std::string* object_type,
+                                std::vector<std::string>* attributes) {
+    return ::fabricsim::SplitCompositeKey(key, object_type, attributes);
+  }
 
   /// The accumulated read/write set.
   const ReadWriteSet& rwset() const { return rwset_; }

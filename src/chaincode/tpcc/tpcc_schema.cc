@@ -1,0 +1,73 @@
+#include "src/chaincode/tpcc/tpcc_schema.h"
+
+#include "src/chaincode/composite_key.h"
+#include "src/common/strings.h"
+
+namespace fabricsim {
+namespace tpcc {
+
+// Pad widths chosen so the simulator-scale defaults never overflow a
+// column (and a 10^8 order counter outlasts any feasible run length).
+namespace {
+constexpr int kWPad = 4;
+constexpr int kDPad = 2;
+constexpr int kCPad = 5;
+constexpr int kOPad = 8;
+constexpr int kLPad = 2;
+constexpr int kIPad = 5;
+}  // namespace
+
+std::string WarehouseKey(int w) {
+  return MakeCompositeKey(kWarehouseTable, {PadKey(w, kWPad)});
+}
+
+std::string DistrictKey(int w, int d) {
+  return MakeCompositeKey(kDistrictTable, {PadKey(w, kWPad), PadKey(d, kDPad)});
+}
+
+std::string CustomerKey(int w, int d, int c) {
+  return MakeCompositeKey(
+      kCustomerTable, {PadKey(w, kWPad), PadKey(d, kDPad), PadKey(c, kCPad)});
+}
+
+std::string OrderKey(int w, int d, int o) {
+  return MakeCompositeKey(
+      kOrderTable, {PadKey(w, kWPad), PadKey(d, kDPad), PadKey(o, kOPad)});
+}
+
+std::string NewOrderKey(int w, int d, int o) {
+  return MakeCompositeKey(
+      kNewOrderTable, {PadKey(w, kWPad), PadKey(d, kDPad), PadKey(o, kOPad)});
+}
+
+std::string OrderLineKey(int w, int d, int o, int line) {
+  return MakeCompositeKey(kOrderLineTable,
+                          {PadKey(w, kWPad), PadKey(d, kDPad),
+                           PadKey(o, kOPad), PadKey(line, kLPad)});
+}
+
+std::string StockKey(int w, int i) {
+  return MakeCompositeKey(kStockTable, {PadKey(w, kWPad), PadKey(i, kIPad)});
+}
+
+std::string ItemKey(int i) {
+  return MakeCompositeKey(kItemTable, {PadKey(i, kIPad)});
+}
+
+std::string TableForKey(const std::string& key) {
+  return CompositeKeyObjectType(key);
+}
+
+// Synthetic catalogue values: arbitrary but fixed functions of the id,
+// so every peer (and every re-run) bootstraps identical world state
+// without consuming randomness.
+int ItemPriceCents(int i) { return 100 + (i * 37) % 9901; }
+
+int WarehouseTaxBp(int w) { return (w * 731) % 2001; }
+
+int DistrictTaxBp(int w, int d) { return (w * 731 + d * 137) % 2001; }
+
+int InitialStockQuantity(int w, int i) { return 10 + (w * 13 + i * 7) % 91; }
+
+}  // namespace tpcc
+}  // namespace fabricsim

@@ -8,6 +8,15 @@ ChannelAffinity::ChannelAffinity(const ChannelAffinityConfig& config,
                                  int num_channels, int client_index) {
   if (num_channels < 1) num_channels = 1;
   visible_.clear();
+  if (config.pinned_channel >= 0) {
+    // Explicit pin: one visible channel, zero randomness (clamped so a
+    // pin beyond the deployment still lands on a real channel).
+    ChannelId pinned = config.pinned_channel < num_channels
+                           ? config.pinned_channel
+                           : num_channels - 1;
+    visible_.push_back(pinned);
+    return;
+  }
   int per_client = config.channels_per_client;
   if (per_client <= 0 || per_client >= num_channels) {
     for (ChannelId c = 0; c < num_channels; ++c) visible_.push_back(c);

@@ -23,6 +23,11 @@ constexpr ChannelId kDefaultChannel = 0;
 struct ChannelAffinityConfig {
   double skew = 0.0;
   int channels_per_client = 0;
+  /// Pins every client under this config to exactly this channel
+  /// (scenario packs use it to aim one behaviour class at one
+  /// channel's ledger). Negative = no pin; when set it overrides
+  /// skew/channels_per_client and the chooser draws zero randomness.
+  int pinned_channel = -1;
 };
 
 /// Cache key combining channel and per-channel block number. Block

@@ -1,10 +1,6 @@
 #include "src/core/experiment.h"
 
-#include "src/chaincode/digital_voting.h"
-#include "src/chaincode/drm.h"
-#include "src/chaincode/ehr.h"
-#include "src/chaincode/genchain.h"
-#include "src/chaincode/supply_chain.h"
+#include "src/chaincode/registry.h"
 #include "src/common/strings.h"
 
 namespace fabricsim {
@@ -88,26 +84,15 @@ std::string ExperimentConfig::Describe() const {
 
 Result<std::shared_ptr<Chaincode>> MakeChaincodeFor(
     const WorkloadConfig& workload) {
-  const std::string& name = workload.chaincode;
-  if (name == "ehr") {
-    return std::shared_ptr<Chaincode>(std::make_shared<EhrChaincode>());
+  // Fully catalog-driven: built-ins and RegisterChaincodeFactory()
+  // additions resolve identically, and the error enumerates what
+  // exists instead of leaving the caller to guess.
+  std::optional<ChaincodeFactory> factory =
+      FindChaincodeFactory(workload.chaincode);
+  if (!factory.has_value()) {
+    return Status::InvalidArgument(UnknownChaincodeError(workload.chaincode));
   }
-  if (name == "dv") {
-    return std::shared_ptr<Chaincode>(
-        std::make_shared<DigitalVotingChaincode>());
-  }
-  if (name == "scm") {
-    return std::shared_ptr<Chaincode>(
-        std::make_shared<SupplyChainChaincode>());
-  }
-  if (name == "drm") {
-    return std::shared_ptr<Chaincode>(std::make_shared<DrmChaincode>());
-  }
-  if (name == "genchain" || name == "genChain") {
-    return std::shared_ptr<Chaincode>(std::make_shared<GenChaincode>(
-        GenChaincodeSpec::PaperDefault(workload.genchain_initial_keys)));
-  }
-  return Status::InvalidArgument("unknown chaincode: " + name);
+  return factory->make_chaincode(workload);
 }
 
 }  // namespace fabricsim

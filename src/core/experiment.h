@@ -216,6 +216,18 @@ class ExperimentConfig::Builder {
         channels_per_client;
     return *this;
   }
+  /// Pins every client to exactly this channel (scenario packs aim one
+  /// behaviour class at one channel's ledger this way).
+  Builder& PinnedChannel(int channel) {
+    config_.workload.channel_affinity.pinned_channel = channel;
+    return *this;
+  }
+  /// tpcc only: warehouse count, the TPC-C hotspot sweep knob (W
+  /// warehouses = W x 10 district rows carrying ~88% of the mix).
+  Builder& TpccWarehouses(int warehouses) {
+    config_.workload.tpcc.warehouses = warehouses;
+    return *this;
+  }
 
   ExperimentConfig Build() const {
     ExperimentConfig config = config_;

@@ -8,6 +8,7 @@
 #include "src/chaincode/drm.h"
 #include "src/chaincode/ehr.h"
 #include "src/chaincode/genchain.h"
+#include "src/chaincode/registry.h"
 #include "src/chaincode/supply_chain.h"
 #include "src/common/strings.h"
 #include "src/workload/key_distribution.h"
@@ -344,7 +345,13 @@ Result<std::unique_ptr<WorkloadGenerator>> MakeWorkload(
                            rich_queries_supported);
   }
   if (cc == "genchain" || cc == "genChain") return MakeGenWorkload(config);
-  return Status::InvalidArgument("unknown chaincode: " + cc);
+  // Catalogued chaincodes (tpcc, asset, anything registered through
+  // RegisterChaincodeFactory) bring their own generator factory.
+  std::optional<ChaincodeFactory> factory = FindChaincodeFactory(cc);
+  if (factory.has_value() && factory->make_workload) {
+    return factory->make_workload(config, rich_queries_supported);
+  }
+  return Status::InvalidArgument(UnknownChaincodeError(cc));
 }
 
 }  // namespace fabricsim

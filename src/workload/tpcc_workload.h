@@ -1,0 +1,35 @@
+#ifndef FABRICSIM_WORKLOAD_TPCC_WORKLOAD_H_
+#define FABRICSIM_WORKLOAD_TPCC_WORKLOAD_H_
+
+#include <memory>
+
+#include "src/workload/workload_generator.h"
+#include "src/workload/workload_spec.h"
+
+namespace fabricsim {
+
+/// TPC-C transaction mix against the tpcc chaincode, after Klenik &
+/// Kocsis: NewOrder 45%, Payment 43%, Delivery / OrderStatus /
+/// StockLevel 4% each. TPC-C prescribes its own mix, so WorkloadMix is
+/// ignored; `config.zipf_skew` shapes district/customer/item
+/// popularity (0 = the spec's uniform terminals).
+///
+/// The generator keeps an optimistic per-district order counter
+/// (mirroring ScmState): NewOrder bumps it, OrderStatus aims at a
+/// recent order id derived from it. Aborted transactions make the
+/// guess stale, which the chaincode tolerates — footprints stay
+/// stable, ids just lag.
+std::unique_ptr<WorkloadGenerator> MakeTpccWorkload(
+    const WorkloadConfig& config);
+
+/// Composite-key asset-transfer mix (scenario packs): transferAsset
+/// 45%, queryByOwner 25%, readAsset 20%, createAsset 10%. Transfers
+/// move OWNED index entries between owner subtrees while queryByOwner
+/// phantom-checks one subtree — the deliberate phantom-abort
+/// generator. kReadHeavy shifts weight onto the two read functions.
+std::unique_ptr<WorkloadGenerator> MakeAssetTransferWorkload(
+    const WorkloadConfig& config);
+
+}  // namespace fabricsim
+
+#endif  // FABRICSIM_WORKLOAD_TPCC_WORKLOAD_H_

@@ -25,9 +25,36 @@ enum class WorkloadMix {
 
 const char* WorkloadMixToString(WorkloadMix mix);
 
+/// Scale parameters of the TPC-C chaincode (src/chaincode/tpcc),
+/// after Klenik & Kocsis's "TPC-C on Hyperledger Fabric". Defaults are
+/// simulator-scale (the spec's 3000 customers and 100k items shrink to
+/// keep bootstrap fast); the *ratios* that create the district hotspot
+/// are preserved exactly — every warehouse has 10 districts and every
+/// NewOrder/Payment funnels through one district row.
+struct TpccConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 30;
+  int items = 100;
+  /// TPC-C §2.4.1.5: this fraction of NewOrder transactions names an
+  /// unused item id and must roll back (chaincode error, endorsement
+  /// drops it client-side).
+  double invalid_item_rate = 0.01;
+};
+
+/// Scale parameters of the composite-key asset-transfer scenario pack
+/// (src/chaincode/asset_transfer), after the requirement patterns in
+/// Ben Toumia et al.'s application-requirements study.
+struct AssetTransferConfig {
+  int assets = 400;
+  int owners = 20;
+};
+
 /// Declarative workload description consumed by MakeWorkload().
 struct WorkloadConfig {
-  /// Target chaincode: "ehr", "dv", "scm", "drm" or "genchain".
+  /// Target chaincode: "ehr", "dv", "scm", "drm", "genchain", "tpcc"
+  /// or "asset" (plus anything registered through
+  /// RegisterChaincodeFactory).
   std::string chaincode = "ehr";
   WorkloadMix mix = WorkloadMix::kUniform;
   /// Zipfian skew of key accesses (0 = uniform).
@@ -49,6 +76,10 @@ struct WorkloadConfig {
   /// memory growth measures simulator bookkeeping, not application
   /// state.
   bool genchain_mutations = true;
+  /// tpcc only: schema scale (warehouse count is the sweep knob).
+  TpccConfig tpcc;
+  /// asset only: scenario-pack scale.
+  AssetTransferConfig asset;
   /// How clients spread submissions across channels (multi-channel
   /// networks only; inert when fabric.num_channels == 1). skew is the
   /// Zipf exponent of channel popularity, channels_per_client pins

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/chaincode/ehr.h"
 #include "src/chaincode/registry.h"
 #include "src/chaincode/stub.h"
@@ -97,13 +99,47 @@ TEST_F(StubTest, TakeRwsetMoves) {
 
 // --------------------------------------------------------- Registry
 
-TEST(RegistryTest, DefaultHasAllFiveChaincodes) {
+TEST(RegistryTest, DefaultHasAllCataloguedChaincodes) {
   ChaincodeRegistry registry = ChaincodeRegistry::CreateDefault();
-  for (const char* name : {"ehr", "dv", "scm", "drm", "genChain"}) {
+  for (const char* name :
+       {"ehr", "dv", "scm", "drm", "genChain", "tpcc", "asset"}) {
     EXPECT_NE(registry.Get(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Get("nope"), nullptr);
-  EXPECT_EQ(registry.InstalledNames().size(), 5u);
+  EXPECT_EQ(registry.InstalledNames().size(), 7u);
+}
+
+TEST(RegistryTest, FactoryHookAddsChaincodeWithoutFactorySwitchEdits) {
+  // A chaincode registered through the catalog hook must be reachable
+  // through every name-based entry point, with zero factory-switch
+  // edits. EHR under an alias doubles as the custom implementation.
+  ChaincodeFactory factory;
+  factory.make_chaincode = [](const WorkloadConfig&) {
+    return std::make_shared<EhrChaincode>();
+  };
+  ASSERT_TRUE(RegisterChaincodeFactory("custom-ehr", factory).ok());
+  // Duplicate names are rejected.
+  EXPECT_EQ(RegisterChaincodeFactory("custom-ehr", factory).code(),
+            StatusCode::kAlreadyExists);
+
+  std::vector<std::string> names = RegisteredChaincodeNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "custom-ehr"), names.end());
+  EXPECT_TRUE(FindChaincodeFactory("custom-ehr").has_value());
+
+  // Restore the catalog before other tests count it.
+  ASSERT_TRUE(UnregisterChaincodeFactory("custom-ehr").ok());
+  EXPECT_FALSE(FindChaincodeFactory("custom-ehr").has_value());
+  EXPECT_EQ(UnregisterChaincodeFactory("custom-ehr").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, UnknownChaincodeErrorListsAvailableNames) {
+  std::string message = UnknownChaincodeError("bogus");
+  EXPECT_NE(message.find("unknown chaincode: bogus"), std::string::npos);
+  for (const char* name :
+       {"asset", "dv", "drm", "ehr", "genchain", "scm", "tpcc"}) {
+    EXPECT_NE(message.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(RegistryTest, RejectsDuplicatesAndNull) {
